@@ -1,0 +1,83 @@
+// Ablation: fixed vs diminishing step size.
+//
+// The paper fixes eta = 1/(beta L) and argues (footnote 1, §4.2) that "a
+// fixed step size is more practical than [a] diminishing step size". This
+// bench compares the two schedules at matched initial eta for FedProxVR
+// and FedAvg: diminishing steps smooth the curve but slow progress, which
+// is the trade-off behind the paper's choice.
+#include <cstdio>
+#include <vector>
+
+#include "common/experiment_util.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace fedvr;
+
+  std::size_t devices = 15, rounds = 30, tau = 40, batch = 1;
+  double beta = 5.0, mu = 0.1, decay = 0.1;
+  std::uint64_t seed = 1;
+  util::Flags flags("ablation_step_schedule",
+                    "fixed vs diminishing step size (paper §4.2 footnote)");
+  flags.add("devices", &devices, "number of devices");
+  flags.add("rounds", &rounds, "global rounds");
+  flags.add("tau", &tau, "local iterations");
+  flags.add("batch", &batch, "mini-batch size");
+  flags.add("beta", &beta, "step parameter");
+  flags.add("mu", &mu, "proximal penalty");
+  flags.add("decay", &decay, "diminishing decay: eta_t = eta/(1+decay t)");
+  flags.add("seed", &seed, "master seed");
+  flags.parse(argc, argv);
+
+  data::SyntheticConfig cfg;
+  cfg.num_devices = devices;
+  cfg.min_samples = 40;
+  cfg.max_samples = 200;
+  cfg.seed = seed;
+  const auto fed = data::make_synthetic(cfg);
+  const auto model =
+      nn::make_logistic_regression(cfg.dim, cfg.num_classes);
+  const double L = bench::estimate_task_smoothness(*model, fed, seed);
+  std::printf("Synthetic, %zu devices, L = %.3f, decay = %g\n\n", devices, L,
+              decay);
+
+  std::vector<fl::TrainingTrace> traces;
+  for (const auto schedule :
+       {opt::StepSchedule::kConstant, opt::StepSchedule::kDiminishing}) {
+    for (const bool variance_reduced : {true, false}) {
+      core::HyperParams hp;
+      hp.beta = beta;
+      hp.smoothness_L = L;
+      hp.tau = tau;
+      hp.mu = mu;
+      hp.batch_size = batch;
+      auto spec =
+          variance_reduced ? core::fedproxvr_sarah(hp) : core::fedavg(hp);
+      spec.options.schedule = schedule;
+      spec.options.schedule_decay = decay;
+      spec.name += schedule == opt::StepSchedule::kConstant
+                       ? " fixed-eta"
+                       : " diminishing-eta";
+      fl::TrainerOptions run_cfg;
+      run_cfg.rounds = rounds;
+      run_cfg.seed = seed;
+      traces.push_back(core::run_federated(model, fed, spec, run_cfg));
+    }
+  }
+
+  std::printf("%-32s  %12s  %12s\n", "configuration", "final_loss",
+              "min_loss");
+  for (const auto& t : traces) {
+    std::printf("%-32s  %12.5f  %12.5f\n", t.algorithm.c_str(),
+                t.back().train_loss, t.min_train_loss());
+  }
+  std::printf("\n%s\n",
+              bench::render_chart(bench::loss_series(traces),
+                                  {.title = "fixed vs diminishing step size",
+                                   .y_label = "training loss",
+                                   .x_label = "global round",
+                                   .log_y = true})
+                  .c_str());
+  bench::write_traces(traces, "ablation_schedule");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace fedvr::bench {
+
+namespace {
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void absorb(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  [[nodiscard]] double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+  FEDVR_CHECK_MSG(!series.empty(), "chart needs at least one series");
+  FEDVR_CHECK(options.width >= 16 && options.height >= 4);
+
+  auto y_of = [&](double y) {
+    return options.log_y ? std::log10(std::max(y, 1e-300)) : y;
+  };
+  auto x_of = [&](double x) {
+    return options.log_x ? std::log10(std::max(x, 1e-300)) : x;
+  };
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    FEDVR_CHECK_MSG(s.x.size() == s.y.size(),
+                    "series '" << s.label << "' has mismatched x/y sizes");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      xr.absorb(x_of(s.x[i]));
+      yr.absorb(y_of(s.y[i]));
+    }
+  }
+  FEDVR_CHECK_MSG(xr.valid() && yr.valid(),
+                  "chart has no finite data points");
+
+  // Grid of (height x width) cells, filled bottom-up.
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char marker = kMarkers[si % (sizeof kMarkers)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double tx = (x_of(s.x[i]) - xr.lo) / xr.span();
+      const double ty = (y_of(s.y[i]) - yr.lo) / yr.span();
+      const auto col = static_cast<std::size_t>(std::llround(
+          tx * static_cast<double>(options.width - 1)));
+      const auto row = static_cast<std::size_t>(std::llround(
+          (1.0 - ty) * static_cast<double>(options.height - 1)));
+      grid[row][col] = marker;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << "  " << options.title << "\n";
+  char buf[64];
+  for (std::size_t row = 0; row < options.height; ++row) {
+    // y-axis tick on the first, middle, and last rows.
+    double tick = yr.hi - (yr.span() * static_cast<double>(row)) /
+                              static_cast<double>(options.height - 1);
+    if (options.log_y) tick = std::pow(10.0, tick);
+    if (row == 0 || row == options.height - 1 ||
+        row == options.height / 2) {
+      std::snprintf(buf, sizeof buf, "%10.4g |", tick);
+    } else {
+      std::snprintf(buf, sizeof buf, "%10s |", "");
+    }
+    out << buf << grid[row] << "\n";
+  }
+  out << std::string(11, ' ') << '+' << std::string(options.width, '-')
+      << "\n";
+  const double x_lo_disp = options.log_x ? std::pow(10.0, xr.lo) : xr.lo;
+  const double x_hi_disp = options.log_x ? std::pow(10.0, xr.hi) : xr.hi;
+  std::snprintf(buf, sizeof buf, "%10s  %-10.4g", "", x_lo_disp);
+  out << buf;
+  const std::string xhi = [&] {
+    char b2[32];
+    std::snprintf(b2, sizeof b2, "%.4g", x_hi_disp);
+    return std::string(b2);
+  }();
+  const std::size_t pad =
+      options.width > xhi.size() + 10 ? options.width - xhi.size() - 10 : 1;
+  out << std::string(pad, ' ') << xhi << "\n";
+  if (!options.x_label.empty() || !options.y_label.empty() ||
+      options.log_x || options.log_y) {
+    out << "            x: " << options.x_label
+        << (options.y_label.empty() ? "" : ",  y: " + options.y_label)
+        << (options.log_y ? " (log-y)" : "")
+        << (options.log_x ? " (log-x)" : "") << "\n";
+  }
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  [" << kMarkers[si % (sizeof kMarkers)] << "] "
+        << series[si].label;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace fedvr::bench

@@ -1,0 +1,33 @@
+// Terminal line charts for the experiment harness: every "figure" bench
+// renders its series as ASCII so the curve shapes are inspectable without
+// leaving the terminal (CSV files carry the exact numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedvr::bench {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  std::size_t width = 72;   // plot columns
+  std::size_t height = 18;  // plot rows
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+  bool log_y = false;
+  bool log_x = false;
+};
+
+/// Renders the series into a multi-line string. Each series is drawn with
+/// its own marker character and listed in a legend. Non-finite values are
+/// skipped.
+[[nodiscard]] std::string render_chart(const std::vector<Series>& series,
+                                       const ChartOptions& options);
+
+}  // namespace fedvr::bench

@@ -1,0 +1,89 @@
+#include "common/experiment_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "theory/smoothness.h"
+#include "util/csv.h"
+
+namespace fedvr::bench {
+
+data::Dataset pool_train(const data::FederatedDataset& fed) {
+  data::Dataset pooled(fed.train.front().sample_shape(), 0,
+                       fed.train.front().num_classes());
+  for (const auto& d : fed.train) pooled.append(d);
+  return pooled;
+}
+
+double estimate_task_smoothness(const nn::Model& model,
+                                const data::FederatedDataset& fed,
+                                std::uint64_t seed) {
+  const data::Dataset pooled = pool_train(fed);
+  util::Rng rng(seed);
+  const auto w = model.initial_parameters(rng);
+  return theory::estimate_smoothness(model, pooled, w, rng);
+}
+
+std::vector<Series> loss_series(
+    const std::vector<fl::TrainingTrace>& traces) {
+  std::vector<Series> out;
+  out.reserve(traces.size());
+  for (const auto& t : traces) {
+    Series s;
+    s.label = t.algorithm;
+    for (const auto& r : t.rounds) {
+      s.x.push_back(static_cast<double>(r.round));
+      s.y.push_back(r.train_loss);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Series> accuracy_series(
+    const std::vector<fl::TrainingTrace>& traces) {
+  std::vector<Series> out;
+  out.reserve(traces.size());
+  for (const auto& t : traces) {
+    Series s;
+    s.label = t.algorithm;
+    for (const auto& r : t.rounds) {
+      s.x.push_back(static_cast<double>(r.round));
+      s.y.push_back(r.test_accuracy);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+}  // namespace
+
+void write_traces(const std::vector<fl::TrainingTrace>& traces,
+                  const std::string& prefix) {
+  const std::string dir = util::ensure_results_dir();
+  for (const auto& t : traces) {
+    const std::string path =
+        dir + "/" + prefix + "_" + sanitize(t.algorithm) + ".csv";
+    t.write_csv(path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+void print_summary_table(const std::vector<fl::TrainingTrace>& traces) {
+  std::printf("%-20s  %12s  %12s  %10s\n", "algorithm", "final_loss",
+              "best_acc", "at_round");
+  for (const auto& t : traces) {
+    const auto [acc, round] = t.best_accuracy();
+    std::printf("%-20s  %12.5f  %11.2f%%  %10zu\n", t.algorithm.c_str(),
+                t.back().train_loss, 100.0 * acc, round);
+  }
+}
+
+}  // namespace fedvr::bench

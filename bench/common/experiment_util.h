@@ -1,0 +1,41 @@
+// Shared setup for the experiment harness binaries (one per paper
+// table/figure).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ascii_chart.h"
+#include "core/fedproxvr.h"
+#include "util/csv.h"
+#include "data/image_datasets.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+
+namespace fedvr::bench {
+
+/// Pools all device training shards (for smoothness estimation).
+[[nodiscard]] data::Dataset pool_train(const data::FederatedDataset& fed);
+
+/// Estimates L on the pooled training data at a fresh initialization.
+[[nodiscard]] double estimate_task_smoothness(const nn::Model& model,
+                                              const data::FederatedDataset& fed,
+                                              std::uint64_t seed);
+
+/// Loss and accuracy series from traces, ready for render_chart.
+[[nodiscard]] std::vector<Series> loss_series(
+    const std::vector<fl::TrainingTrace>& traces);
+[[nodiscard]] std::vector<Series> accuracy_series(
+    const std::vector<fl::TrainingTrace>& traces);
+
+/// Writes every trace as CSV under results/<prefix>_<algorithm>.csv and
+/// logs the paths.
+void write_traces(const std::vector<fl::TrainingTrace>& traces,
+                  const std::string& prefix);
+
+/// Prints a paper-style summary row per trace:
+///   algorithm | final loss | best accuracy | round of best accuracy.
+void print_summary_table(const std::vector<fl::TrainingTrace>& traces);
+
+}  // namespace fedvr::bench

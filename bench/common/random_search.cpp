@@ -1,0 +1,51 @@
+#include "common/random_search.h"
+
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedvr::bench {
+
+SearchResult random_search(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    const std::function<core::AlgorithmSpec(const core::HyperParams&)>&
+        make_spec,
+    const SearchSpace& space, std::size_t budget, std::size_t rounds,
+    double smoothness_L, std::uint64_t seed) {
+  FEDVR_CHECK(budget >= 1);
+  FEDVR_CHECK(!space.taus.empty() && !space.betas.empty() &&
+              !space.mus.empty() && !space.batches.empty());
+  util::Rng rng = util::fork(seed, 0, 0, util::stream::kSearch);
+
+  SearchResult best;
+  best.best_accuracy = -1.0;
+  for (std::size_t trial = 0; trial < budget; ++trial) {
+    core::HyperParams hp;
+    hp.tau = space.taus[rng.below(space.taus.size())];
+    hp.beta = space.betas[rng.below(space.betas.size())];
+    hp.mu = space.mus[rng.below(space.mus.size())];
+    hp.batch_size = space.batches[rng.below(space.batches.size())];
+    hp.smoothness_L = smoothness_L;
+    const auto spec = make_spec(hp);
+
+    fl::TrainerOptions run_cfg;
+    run_cfg.rounds = rounds;
+    run_cfg.seed = seed;  // fixed data/init seed: only hyperparams vary
+    const auto trace = core::run_federated(model, fed, spec, run_cfg);
+    const auto [acc, round] = trace.best_accuracy();
+    std::printf("  trial %2zu: tau=%-3zu beta=%-4.1f mu=%-5.2f B=%-3zu -> "
+                "acc %.2f%% @ round %zu\n",
+                trial + 1, hp.tau, hp.beta, hp.mu, hp.batch_size, 100.0 * acc,
+                round);
+    if (acc > best.best_accuracy) {
+      best.hp = hp;
+      best.spec = spec;
+      best.best_accuracy = acc;
+      best.best_round = round;
+    }
+  }
+  return best;
+}
+
+}  // namespace fedvr::bench

@@ -1,0 +1,39 @@
+// Random hyperparameter search used by the Table 1 / Table 2 benches.
+//
+// The paper: "we conduct a random search on carefully chosen ranges of
+// hyperparameters to determine which combination ... would yield the
+// highest test accuracy with respect to each algorithm."
+#pragma once
+
+#include <functional>
+
+#include "core/fedproxvr.h"
+
+namespace fedvr::bench {
+
+struct SearchSpace {
+  std::vector<std::size_t> taus = {5, 10, 20};
+  std::vector<double> betas = {5.0, 7.0, 9.0, 10.0};
+  std::vector<double> mus = {0.01, 0.1, 0.5};  // ignored for FedAvg
+  std::vector<std::size_t> batches = {16, 32};
+};
+
+struct SearchResult {
+  core::HyperParams hp;           // the winning combination
+  core::AlgorithmSpec spec;       // spec built from it
+  double best_accuracy = 0.0;     // pooled-test accuracy
+  std::size_t best_round = 0;     // round achieving it (the tables' T)
+};
+
+/// Draws `budget` random combinations from `space`, trains each for
+/// `rounds` rounds, and returns the combination with the highest test
+/// accuracy. `make_spec` builds the algorithm from each combination
+/// (e.g. core::fedavg or core::fedproxvr_svrg). Deterministic in `seed`.
+[[nodiscard]] SearchResult random_search(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    const std::function<core::AlgorithmSpec(const core::HyperParams&)>&
+        make_spec,
+    const SearchSpace& space, std::size_t budget, std::size_t rounds,
+    double smoothness_L, std::uint64_t seed);
+
+}  // namespace fedvr::bench

@@ -1,0 +1,128 @@
+// Fig. 1: effect of the weight factor gamma = d_cmp/d_com on the optimal
+// FedProxVR parameters (beta*, mu*, tau*, theta*, Theta*) obtained by
+// numerically solving problem (23)-(24), for two heterogeneity levels.
+//
+// Paper setting: L = 1, lambda = 0.5, sigma-bar^2 in {0.2, 0.8}.
+// Expected shape (§4.3): gamma -> 0 pushes beta* (and tau*) up — do more
+// local work when communication is the bottleneck; growing gamma shrinks
+// beta* and raises mu* / theta*; larger sigma^2 raises mu* and beta* while
+// lowering theta* and Theta*.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/ascii_chart.h"
+#include "theory/param_opt.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace fedvr;
+
+  double L = 1.0, lambda = 0.5;
+  std::size_t points = 13;
+  double gamma_lo = 1e-4, gamma_hi = 1.0;
+  util::Flags flags("fig1_param_opt",
+                    "Fig. 1: optimal parameters vs weight factor gamma");
+  flags.add("L", &L, "smoothness constant");
+  flags.add("lambda", &lambda, "bounded non-convexity constant");
+  flags.add("points", &points, "gamma samples (log-spaced)");
+  flags.add("gamma_lo", &gamma_lo, "smallest gamma");
+  flags.add("gamma_hi", &gamma_hi, "largest gamma");
+  flags.parse(argc, argv);
+
+  std::vector<double> gammas(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points == 1 ? 0.0
+                                 : static_cast<double>(i) /
+                                       static_cast<double>(points - 1);
+    gammas[i] = std::exp(std::log(gamma_lo) +
+                         t * (std::log(gamma_hi) - std::log(gamma_lo)));
+  }
+
+  const std::string dir = util::ensure_results_dir();
+  util::CsvWriter csv(dir + "/fig1_param_opt.csv",
+                      {"sigma_bar_sq", "gamma", "beta", "mu", "tau", "theta",
+                       "Theta", "objective"});
+
+  std::vector<bench::Series> beta_series, mu_series, theta_series,
+      big_theta_series;
+  for (double sigma2 : {0.2, 0.8}) {
+    const theory::ProblemConstants pc{.L = L,
+                                      .lambda = lambda,
+                                      .sigma_bar_sq = sigma2};
+    std::printf("\n=== sigma_bar^2 = %.1f (L = %g, lambda = %g) ===\n",
+                sigma2, L, lambda);
+    std::printf("%10s  %9s  %9s  %10s  %8s  %9s  %12s\n", "gamma", "beta*",
+                "mu*", "tau*", "theta*", "Theta*", "objective");
+    bench::Series bs{.label = "beta* (s2=" + std::to_string(sigma2).substr(0, 3) + ")", .x = {}, .y = {}};
+    bench::Series ms = bs, ts = bs, Ts = bs;
+    ms.label = "mu* (s2=" + std::to_string(sigma2).substr(0, 3) + ")";
+    ts.label = "theta* (s2=" + std::to_string(sigma2).substr(0, 3) + ")";
+    Ts.label = "Theta* (s2=" + std::to_string(sigma2).substr(0, 3) + ")";
+    for (double gamma : gammas) {
+      const auto p = theory::optimize_parameters(gamma, pc);
+      if (!p) {
+        std::printf("%10.5f  infeasible\n", gamma);
+        continue;
+      }
+      std::printf("%10.5f  %9.2f  %9.2f  %10.1f  %8.4f  %9.5f  %12.1f\n",
+                  gamma, p->beta, p->mu, p->tau, p->theta, p->Theta,
+                  p->objective);
+      csv.builder()
+          .add(sigma2)
+          .add(gamma)
+          .add(p->beta)
+          .add(p->mu)
+          .add(p->tau)
+          .add(p->theta)
+          .add(p->Theta)
+          .add(p->objective)
+          .commit();
+      bs.x.push_back(gamma);
+      bs.y.push_back(p->beta);
+      ms.x.push_back(gamma);
+      ms.y.push_back(p->mu);
+      ts.x.push_back(gamma);
+      ts.y.push_back(p->theta);
+      Ts.x.push_back(gamma);
+      Ts.y.push_back(p->Theta);
+    }
+    beta_series.push_back(std::move(bs));
+    mu_series.push_back(std::move(ms));
+    theta_series.push_back(std::move(ts));
+    big_theta_series.push_back(std::move(Ts));
+  }
+
+  std::printf("\n%s\n",
+              bench::render_chart(
+                  beta_series, {.title = "Fig. 1a: optimal beta vs gamma",
+                                .y_label = "beta*",
+                                .x_label = "gamma",
+                                .log_y = true,
+                                .log_x = true})
+                  .c_str());
+  std::printf("%s\n",
+              bench::render_chart(
+                  mu_series, {.title = "Fig. 1b: optimal mu vs gamma",
+                              .y_label = "mu*",
+                              .x_label = "gamma",
+                              .log_x = true})
+                  .c_str());
+  std::printf("%s\n",
+              bench::render_chart(
+                  theta_series, {.title = "Fig. 1c: optimal theta vs gamma",
+                                 .y_label = "theta*",
+                                 .x_label = "gamma",
+                                 .log_x = true})
+                  .c_str());
+  std::printf("%s\n",
+              bench::render_chart(big_theta_series,
+                                  {.title = "Fig. 1d: Theta vs gamma",
+                                   .y_label = "Theta*",
+                                   .x_label = "gamma",
+                                   .log_x = true})
+                  .c_str());
+  std::printf("wrote %s/fig1_param_opt.csv\n", dir.c_str());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// experiment harness: GEMM, im2col, the vector ops in the solver's inner
+// loop, the prox step, and one full LocalSolver inner iteration on both
+// tasks. Not tied to a paper table; used to track substrate performance.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "opt/local_solver.h"
+#include "tensor/im2col.h"
+#include "tensor/kernels.h"
+#include "tensor/vecops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fedvr;
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kNo, n, n, n, 1.0,
+                        a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Im2col28x28(benchmark::State& state) {
+  tensor::ConvGeometry g{.channels = 1,
+                         .height = 28,
+                         .width = 28,
+                         .kernel_h = 5,
+                         .kernel_w = 5,
+                         .pad = 2,
+                         .stride = 1};
+  util::Rng rng(2);
+  std::vector<double> image(g.image_size());
+  for (auto& v : image) v = rng.uniform();
+  std::vector<double> cols(g.col_rows() * g.out_pixels());
+  for (auto _ : state) {
+    tensor::im2col(g, image, cols);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col28x28);
+
+void BM_AxpyProxStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> w(n), v(n), anchor(n), out(n);
+  for (auto& x : w) x = rng.normal();
+  for (auto& x : v) x = rng.normal();
+  for (auto& x : anchor) x = rng.normal();
+  for (auto _ : state) {
+    tensor::copy(w, out);
+    tensor::axpy(-0.01, v, out);
+    tensor::prox_quadratic(out, anchor, 0.01, 0.5, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AxpyProxStep)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_LogisticMinibatchGradient(benchmark::State& state) {
+  const std::size_t dim = 60, classes = 10, batch = 32;
+  const auto model = nn::make_logistic_regression(dim, classes);
+  data::SyntheticConfig cfg;
+  cfg.dim = dim;
+  cfg.num_classes = classes;
+  const auto ds = data::make_synthetic_device(cfg, 0, 256);
+  util::Rng rng(5);
+  auto w = model->initial_parameters(rng);
+  std::vector<double> grad(w.size());
+  std::vector<std::size_t> idx(batch);
+  for (auto& i : idx) i = rng.below(ds.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->loss_and_gradient(w, ds, idx, grad));
+  }
+}
+BENCHMARK(BM_LogisticMinibatchGradient);
+
+void BM_CnnMinibatchGradient(benchmark::State& state) {
+  nn::CnnConfig cfg;
+  cfg.side = 12;
+  cfg.conv1_channels = 8;
+  cfg.conv2_channels = 16;
+  const auto model = nn::make_two_layer_cnn(cfg);
+  data::Dataset ds(tensor::Shape({1, 12, 12}), 64, 10);
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (auto& v : ds.mutable_sample(i)) v = rng.uniform();
+    ds.set_label(i, static_cast<int>(rng.below(10)));
+  }
+  auto w = model->initial_parameters(rng);
+  std::vector<double> grad(w.size());
+  std::vector<std::size_t> idx(8);
+  for (auto& i : idx) i = rng.below(ds.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->loss_and_gradient(w, ds, idx, grad));
+  }
+}
+BENCHMARK(BM_CnnMinibatchGradient);
+
+void BM_LocalSolverRound(benchmark::State& state) {
+  const std::size_t dim = 60, classes = 10;
+  const auto model = nn::make_logistic_regression(dim, classes);
+  data::SyntheticConfig cfg;
+  cfg.dim = dim;
+  cfg.num_classes = classes;
+  const auto ds = data::make_synthetic_device(cfg, 0, 200);
+  opt::LocalSolverOptions opts;
+  opts.estimator =
+      state.range(0) == 0 ? opt::Estimator::kSgd
+      : state.range(0) == 1 ? opt::Estimator::kSvrg
+                            : opt::Estimator::kSarah;
+  opts.tau = 20;
+  opts.eta = 0.01;
+  opts.mu = 0.1;
+  opts.batch_size = 32;
+  const opt::LocalSolver solver(model, opts);
+  util::Rng rng(9);
+  const auto anchor = model->initial_parameters(rng);
+  for (auto _ : state) {
+    util::Rng inner(11);
+    benchmark::DoNotOptimize(solver.solve(ds, anchor, inner));
+  }
+}
+BENCHMARK(BM_LocalSolverRound)
+    ->Arg(0)  // SGD
+    ->Arg(1)  // SVRG
+    ->Arg(2); // SARAH
+
+}  // namespace
+
+BENCHMARK_MAIN();

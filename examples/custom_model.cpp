@@ -1,0 +1,161 @@
+// Extending fedvr with your own learning task.
+//
+// Any objective can ride the full FedProxVR machinery by implementing the
+// four-virtual nn::Model interface: parameter count, initialization, batch
+// loss+gradient (evaluable at any parameter vector — that is what the
+// SVRG/SARAH anchors need), and prediction. This example trains a
+// federated *ridge regression* (a model the built-in factories do not
+// provide) across heterogeneous devices.
+#include <cmath>
+#include <cstdio>
+
+#include "core/fedproxvr.h"
+#include "tensor/vecops.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace fedvr;
+
+// Ridge regression: features x in R^d, target encoded in the label slot is
+// not expressive enough (labels are class ids), so the convention here is
+// that the target is the last feature column. Loss per sample:
+//   f_i(w) = 0.5 (x_i^T w - y_i)^2 + (reg/2)||w||^2 / n_total-ish (folded
+//   into the mean below).
+class RidgeRegression final : public nn::Model {
+ public:
+  RidgeRegression(std::size_t dim, double reg) : dim_(dim), reg_(reg) {}
+
+  [[nodiscard]] std::size_t num_parameters() const override { return dim_; }
+
+  void initialize(util::Rng& rng, std::span<double> w) const override {
+    for (auto& v : w) v = rng.normal(0.0, 0.1);
+  }
+
+  [[nodiscard]] double loss(std::span<const double> w,
+                            const data::Dataset& ds,
+                            std::span<const std::size_t> indices)
+      const override {
+    double total = 0.0;
+    for (std::size_t i : indices) {
+      const auto row = ds.sample(i);
+      const auto x = row.subspan(0, dim_);
+      const double target = row[dim_];
+      const double err = tensor::dot(x, w) - target;
+      total += 0.5 * err * err;
+    }
+    return total / static_cast<double>(indices.size()) +
+           0.5 * reg_ * tensor::nrm2_squared(w);
+  }
+
+  double loss_and_gradient(std::span<const double> w, const data::Dataset& ds,
+                           std::span<const std::size_t> indices,
+                           std::span<double> grad) const override {
+    tensor::fill(grad, 0.0);
+    double total = 0.0;
+    for (std::size_t i : indices) {
+      const auto row = ds.sample(i);
+      const auto x = row.subspan(0, dim_);
+      const double target = row[dim_];
+      const double err = tensor::dot(x, w) - target;
+      total += 0.5 * err * err;
+      tensor::axpy(err, x, grad);
+    }
+    const double inv = 1.0 / static_cast<double>(indices.size());
+    tensor::scal(inv, grad);
+    tensor::axpy(reg_, w, grad);
+    return total * inv + 0.5 * reg_ * tensor::nrm2_squared(w);
+  }
+
+  void predict(std::span<const double> w, const data::Dataset& ds,
+               std::span<const std::size_t> indices,
+               std::span<std::size_t> out) const override {
+    // Classification view: sign of the prediction (for accuracy plumbing).
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const auto row = ds.sample(indices[k]);
+      out[k] = tensor::dot(row.subspan(0, dim_), w) >= 0.0 ? 1u : 0u;
+    }
+  }
+
+ private:
+  std::size_t dim_;
+  double reg_;
+};
+
+// Heterogeneous regression federation: each device draws its own true
+// weight vector near a shared one (client drift!), then samples (x, y).
+data::FederatedDataset make_regression_federation(std::size_t devices,
+                                                  std::size_t dim,
+                                                  std::uint64_t seed) {
+  util::Rng shared_rng = util::fork(seed, 0, 0, util::stream::kData);
+  std::vector<double> w_shared(dim);
+  for (auto& v : w_shared) v = shared_rng.normal();
+
+  data::FederatedDataset fed;
+  for (std::size_t k = 0; k < devices; ++k) {
+    util::Rng rng = util::fork(seed, k + 1, 0, util::stream::kData);
+    std::vector<double> w_true = w_shared;
+    for (auto& v : w_true) v += rng.normal(0.0, 0.3);  // device drift
+    const std::size_t n = 40 + rng.below(120);
+    data::Dataset local(tensor::Shape({dim + 1}), n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = local.mutable_sample(i);
+      double y = rng.normal(0.0, 0.05);  // observation noise
+      for (std::size_t j = 0; j < dim; ++j) {
+        row[j] = rng.normal();
+        y += row[j] * w_true[j];
+      }
+      row[dim] = y;
+      local.set_label(i, y >= 0.0 ? 1 : 0);
+    }
+    auto [train, test] = local.split(rng, 0.75);
+    fed.train.push_back(std::move(train));
+    fed.test.push_back(std::move(test));
+  }
+  return fed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t devices = 12, dim = 25, rounds = 25;
+  std::uint64_t seed = 1;
+  util::Flags flags("custom_model",
+                    "federated ridge regression via a user-defined Model");
+  flags.add("devices", &devices, "number of devices");
+  flags.add("dim", &dim, "feature dimension");
+  flags.add("rounds", &rounds, "global rounds");
+  flags.add("seed", &seed, "master seed");
+  flags.parse(argc, argv);
+
+  const auto fed = make_regression_federation(devices, dim, seed);
+  const auto model = std::make_shared<RidgeRegression>(dim, 1e-4);
+
+  // Least squares on ~N(0,1) features: L ~ E||x||^2 ~ dim.
+  core::HyperParams hp;
+  hp.beta = 5.0;
+  hp.smoothness_L = static_cast<double>(dim);
+  hp.tau = 25;
+  hp.mu = 0.1;
+  hp.batch_size = 4;
+  fl::TrainerOptions run_cfg;
+  run_cfg.rounds = rounds;
+  run_cfg.seed = seed;
+  const auto trace = core::run_federated(model, fed,
+                                         core::fedproxvr_svrg(hp), run_cfg);
+  std::printf("%6s  %14s\n", "round", "train_mse*2");
+  for (const auto& r : trace.rounds) {
+    if (r.round % 5 == 0 || r.round == 1) {
+      std::printf("%6zu  %14.6f\n", r.round, r.train_loss);
+    }
+  }
+  // A single global model cannot fit every device's drifted w_true: the
+  // irreducible *federated* loss is ~ 0.5 E||w_true_k - w_mean||^2 =
+  // 0.5 * dim * drift^2, far above the observation-noise floor. Converging
+  // to that level is success.
+  const double federated_floor = 0.5 * static_cast<double>(dim) * 0.3 * 0.3;
+  std::printf("\nfinal loss %.4f vs irreducible client-drift floor ~ %.4f "
+              "(observation noise alone: %.5f)\n",
+              trace.back().train_loss, federated_floor, 0.5 * 0.05 * 0.05);
+  return 0;
+}

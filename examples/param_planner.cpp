@@ -1,0 +1,66 @@
+// Parameter planner: the §4.3 training-time minimization as a tool.
+//
+// Given your deployment's communication/computation cost ratio gamma and
+// problem constants (L, lambda, sigma-bar^2), prints the FedProxVR
+// parameters that minimize total training time, plus the predicted number
+// of global rounds for a target epsilon.
+//
+//   ./build/examples/param_planner --gamma 0.01 --L 1 --lambda 0.5 \
+//       --sigma2 0.2 --epsilon 0.01 --delta0 10
+#include <cstdio>
+
+#include "theory/bounds.h"
+#include "theory/param_opt.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace fedvr;
+
+  double gamma = 0.01, L = 1.0, lambda = 0.5, sigma2 = 0.2;
+  double epsilon = 0.01, delta0 = 10.0;
+  util::Flags flags("param_planner",
+                    "optimal FedProxVR parameters for your cost ratio");
+  flags.add("gamma", &gamma, "d_cmp / d_com weight factor");
+  flags.add("L", &L, "smoothness constant");
+  flags.add("lambda", &lambda, "bounded non-convexity constant");
+  flags.add("sigma2", &sigma2, "data heterogeneity sigma-bar^2");
+  flags.add("epsilon", &epsilon, "target stationarity gap");
+  flags.add("delta0", &delta0, "initial cost gap F(w0) - F(w*)");
+  flags.parse(argc, argv);
+
+  const theory::ProblemConstants pc{.L = L,
+                                    .lambda = lambda,
+                                    .sigma_bar_sq = sigma2};
+  const auto p = theory::optimize_parameters(gamma, pc);
+  if (!p) {
+    std::printf("no feasible FedProxVR parameters for gamma = %g\n", gamma);
+    return 1;
+  }
+  std::printf("optimal parameters for gamma = %g (L=%g, lambda=%g, "
+              "sigma^2=%g):\n\n",
+              gamma, L, lambda, sigma2);
+  std::printf("  beta   = %10.3f   (step size eta = 1/(beta L) = %.6f)\n",
+              p->beta, 1.0 / (p->beta * L));
+  std::printf("  mu     = %10.3f   (proximal penalty)\n", p->mu);
+  std::printf("  tau    = %10.1f   (local iterations, eq. 16)\n", p->tau);
+  std::printf("  theta  = %10.4f   (local accuracy, eq. 22)\n", p->theta);
+  std::printf("  Theta  = %10.5f   (federated factor, Thm. 1)\n", p->Theta);
+  const double T = theory::global_rounds_needed(delta0, p->Theta, epsilon);
+  std::printf("\npredicted global rounds for epsilon = %g: T >= %.0f\n",
+              epsilon, T);
+  std::printf("predicted training time (d_com = 1): %.1f\n",
+              T * (1.0 + gamma * p->tau));
+
+  // Context: how the optimum shifts across the gamma range (Fig. 1).
+  std::printf("\n%10s  %10s  %10s  %10s  %8s  %9s\n", "gamma", "beta*",
+              "mu*", "tau*", "theta*", "Theta*");
+  const double sweep[] = {1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+  for (double g : sweep) {
+    const auto q = theory::optimize_parameters(g, pc);
+    if (q) {
+      std::printf("%10.4f  %10.2f  %10.2f  %10.1f  %8.4f  %9.5f\n", g,
+                  q->beta, q->mu, q->tau, q->theta, q->Theta);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Training-time comparison under the paper's cost model (eq. 19):
+//     T_total = T * (d_com + d_cmp * tau).
+//
+// Two FedProxVR configurations — few long local runs vs many short ones —
+// reach the same target loss with very different round counts T. Which one
+// is *faster* depends on gamma = d_cmp/d_com, exactly the trade-off §4.3
+// optimizes. This example measures T empirically for both configurations,
+// then prices them across a gamma sweep.
+//
+//   ./build/examples/time_to_target --target 0.8
+#include <cstdio>
+#include <optional>
+
+#include "core/fedproxvr.h"
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "theory/smoothness.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace fedvr;
+
+  std::size_t devices = 15, max_rounds = 60;
+  double target = 0.8;
+  std::uint64_t seed = 1;
+  util::Flags flags("time_to_target",
+                    "price tau-vs-T trade-offs with the eq. 19 cost model");
+  flags.add("devices", &devices, "number of devices");
+  flags.add("max_rounds", &max_rounds, "round budget per run");
+  flags.add("target", &target, "target training loss");
+  flags.add("seed", &seed, "master seed");
+  flags.parse(argc, argv);
+
+  data::SyntheticConfig cfg;
+  cfg.num_devices = devices;
+  cfg.min_samples = 40;
+  cfg.max_samples = 200;
+  cfg.seed = seed;
+  const auto fed = data::make_synthetic(cfg);
+  const auto model =
+      nn::make_logistic_regression(cfg.dim, cfg.num_classes);
+  data::Dataset pooled(fed.train.front().sample_shape(), 0,
+                       cfg.num_classes);
+  for (const auto& d : fed.train) pooled.append(d);
+  util::Rng rng(seed);
+  const auto w_probe = model->initial_parameters(rng);
+  const double L = theory::estimate_smoothness(*model, pooled, w_probe, rng);
+
+  struct Config {
+    const char* name;
+    std::size_t tau;
+  };
+  const Config configs[] = {{"short local runs (tau=10)", 10},
+                            {"long local runs  (tau=80)", 80}};
+
+  struct Outcome {
+    std::optional<std::size_t> rounds_to_target;
+    std::size_t tau;
+  };
+  std::vector<Outcome> outcomes;
+  std::printf("task: Synthetic, L = %.2f, target loss %.3f\n\n", L, target);
+  for (const auto& config : configs) {
+    core::HyperParams hp;
+    hp.beta = 5.0;
+    hp.smoothness_L = L;
+    hp.tau = config.tau;
+    hp.mu = 0.1;
+    hp.batch_size = 4;
+    fl::TrainerOptions run_cfg;
+    run_cfg.rounds = max_rounds;
+    run_cfg.seed = seed;
+    const auto trace = core::run_federated(model, fed,
+                                           core::fedproxvr_sarah(hp),
+                                           run_cfg);
+    const auto hit = trace.first_round_below_loss(target);
+    if (hit) {
+      std::printf("%s: reached %.3f at round T = %zu\n", config.name, target,
+                  *hit);
+    } else {
+      std::printf("%s: did not reach %.3f in %zu rounds (best %.3f)\n",
+                  config.name, target, max_rounds, trace.min_train_loss());
+    }
+    outcomes.push_back({hit, config.tau});
+  }
+
+  std::printf("\ntotal training time T*(d_com + d_cmp*tau), d_com = 1:\n");
+  std::printf("%10s", "gamma");
+  for (const auto& config : configs) std::printf("  %26s", config.name);
+  std::printf("  %s\n", "faster");
+  for (double gamma : {0.001, 0.01, 0.1, 1.0}) {
+    const auto tm = fl::TimingModel::from_gamma(gamma);
+    std::printf("%10.3f", gamma);
+    double best = 1e300;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].rounds_to_target) {
+        std::printf("  %26s", "n/a");
+        continue;
+      }
+      const double cost =
+          tm.total_time(*outcomes[i].rounds_to_target, outcomes[i].tau);
+      std::printf("  %26.1f", cost);
+      if (cost < best) {
+        best = cost;
+        best_idx = i;
+      }
+    }
+    std::printf("  %s\n", configs[best_idx].name);
+  }
+  std::printf("\n(small gamma — costly communication — favors long local "
+              "runs; large gamma favors short ones: the Fig. 1 trade-off)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "core/algorithms.h"
+
+#include "util/error.h"
+
+namespace fedvr::core {
+
+double HyperParams::eta() const {
+  FEDVR_CHECK_MSG(beta > 0.0 && smoothness_L > 0.0,
+                  "beta and L must be positive (beta=" << beta << ", L="
+                                                       << smoothness_L << ")");
+  return 1.0 / (beta * smoothness_L);
+}
+
+namespace {
+opt::LocalSolverOptions base_options(const HyperParams& hp) {
+  opt::LocalSolverOptions o;
+  o.tau = hp.tau;
+  o.eta = hp.eta();
+  o.batch_size = hp.batch_size;
+  o.selection = hp.selection;
+  o.compute_diagnostics = hp.diagnostics;
+  return o;
+}
+}  // namespace
+
+AlgorithmSpec fedavg(const HyperParams& hp) {
+  auto o = base_options(hp);
+  o.estimator = opt::Estimator::kSgd;
+  o.mu = 0.0;
+  return {"FedAvg", o};
+}
+
+AlgorithmSpec fedprox(const HyperParams& hp) {
+  auto o = base_options(hp);
+  o.estimator = opt::Estimator::kSgd;
+  o.mu = hp.mu;
+  return {"FedProx", o};
+}
+
+AlgorithmSpec fedproxvr_svrg(const HyperParams& hp) {
+  auto o = base_options(hp);
+  o.estimator = opt::Estimator::kSvrg;
+  o.mu = hp.mu;
+  return {"FedProxVR(SVRG)", o};
+}
+
+AlgorithmSpec fedproxvr_sarah(const HyperParams& hp) {
+  auto o = base_options(hp);
+  o.estimator = opt::Estimator::kSarah;
+  o.mu = hp.mu;
+  return {"FedProxVR(SARAH)", o};
+}
+
+AlgorithmSpec fedgd(const HyperParams& hp) {
+  auto o = base_options(hp);
+  o.estimator = opt::Estimator::kFullGradient;
+  o.mu = 0.0;
+  return {"FedGD", o};
+}
+
+opt::LocalSolver make_solver(std::shared_ptr<const nn::Model> model,
+                             const AlgorithmSpec& spec) {
+  return opt::LocalSolver(std::move(model), spec.options);
+}
+
+}  // namespace fedvr::core

@@ -1,0 +1,51 @@
+// The paper's algorithms, expressed as named configurations of the unified
+// device-local solver (see opt/local_solver.h):
+//
+//   FedAvg            = SGD estimator,  mu = 0        (McMahan et al. [20])
+//   FedProx           = SGD estimator,  mu > 0        (Li et al. [16])
+//   FedProxVR (SVRG)  = SVRG estimator, mu > 0        (this paper, eq. 8b)
+//   FedProxVR (SARAH) = SARAH estimator, mu > 0       (this paper, eq. 8a)
+//   FedGD             = full-gradient,  mu = 0        (Wang et al. [31])
+//
+// The FedProxVR step size is parametrized as eta = 1/(beta L) (§4.2); the
+// same parametrization is applied to every baseline so comparisons share
+// beta, tau, and batch size, as in §5 ("all algorithms use the same
+// parameters beta, tau, N, T").
+#pragma once
+
+#include <string>
+
+#include "opt/local_solver.h"
+
+namespace fedvr::core {
+
+/// A named algorithm: a display name plus fully-resolved solver options.
+struct AlgorithmSpec {
+  std::string name;
+  opt::LocalSolverOptions options;
+};
+
+/// Shared hyperparameters for building comparable specs.
+struct HyperParams {
+  double beta = 5.0;         // step-size parameter: eta = 1/(beta L)
+  double smoothness_L = 1.0; // L estimate for the task
+  std::size_t tau = 20;      // local iterations
+  double mu = 0.1;           // proximal penalty (ignored where mu = 0)
+  std::size_t batch_size = 32;
+  opt::IterateSelection selection = opt::IterateSelection::kLast;
+  bool diagnostics = false;
+
+  [[nodiscard]] double eta() const;
+};
+
+[[nodiscard]] AlgorithmSpec fedavg(const HyperParams& hp);
+[[nodiscard]] AlgorithmSpec fedprox(const HyperParams& hp);
+[[nodiscard]] AlgorithmSpec fedproxvr_svrg(const HyperParams& hp);
+[[nodiscard]] AlgorithmSpec fedproxvr_sarah(const HyperParams& hp);
+[[nodiscard]] AlgorithmSpec fedgd(const HyperParams& hp);
+
+/// Builds the solver for a spec.
+[[nodiscard]] opt::LocalSolver make_solver(
+    std::shared_ptr<const nn::Model> model, const AlgorithmSpec& spec);
+
+}  // namespace fedvr::core

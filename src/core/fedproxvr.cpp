@@ -1,0 +1,38 @@
+#include "core/fedproxvr.h"
+
+#include "util/log.h"
+
+namespace fedvr::core {
+
+fl::TrainingTrace run_federated(std::shared_ptr<const nn::Model> model,
+                                const data::FederatedDataset& fed,
+                                const AlgorithmSpec& spec,
+                                const fl::TrainerOptions& trainer_options,
+                                std::optional<std::vector<double>> w0) {
+  fl::Trainer trainer(model, fed, trainer_options);
+  const opt::LocalSolver solver = make_solver(model, spec);
+  return trainer.run(solver, spec.name, std::move(w0));
+}
+
+std::vector<fl::TrainingTrace> compare_algorithms(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    std::span<const AlgorithmSpec> specs,
+    const fl::TrainerOptions& trainer_options) {
+  fl::Trainer trainer(model, fed, trainer_options);
+  // Shared initialization: every algorithm starts from the same w̄^(0).
+  util::Rng init_rng =
+      util::fork(trainer_options.seed, 0, 0, util::stream::kInit);
+  const std::vector<double> w0 = model->initial_parameters(init_rng);
+
+  std::vector<fl::TrainingTrace> traces;
+  traces.reserve(specs.size());
+  for (const auto& spec : specs) {
+    FEDVR_LOG_INFO << "running " << spec.name << " for "
+                   << trainer_options.rounds << " rounds";
+    const opt::LocalSolver solver = make_solver(model, spec);
+    traces.push_back(trainer.run(solver, spec.name, w0));
+  }
+  return traces;
+}
+
+}  // namespace fedvr::core

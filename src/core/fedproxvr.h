@@ -1,0 +1,32 @@
+// Public facade: run a named federated algorithm end to end.
+//
+// Quickstart:
+//   auto fed   = data::make_synthetic({});                  // devices + data
+//   auto model = nn::make_logistic_regression(60, 10);
+//   core::HyperParams hp{.beta = 5, .tau = 20, .mu = 0.1};
+//   auto trace = core::run_federated(model, fed,
+//                                    core::fedproxvr_sarah(hp), {});
+//   trace.write_csv("trace.csv");
+#pragma once
+
+#include "core/algorithms.h"
+#include "fl/trainer.h"
+
+namespace fedvr::core {
+
+/// Runs `spec` for trainer_options.rounds global rounds and returns the
+/// trace. Convenience over constructing fl::Trainer + opt::LocalSolver
+/// directly (which remains the composable path).
+[[nodiscard]] fl::TrainingTrace run_federated(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    const AlgorithmSpec& spec, const fl::TrainerOptions& trainer_options,
+    std::optional<std::vector<double>> w0 = std::nullopt);
+
+/// Runs several specs on the same data from the same initialization (the
+/// §5 comparison protocol) and returns one trace per spec.
+[[nodiscard]] std::vector<fl::TrainingTrace> compare_algorithms(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    std::span<const AlgorithmSpec> specs,
+    const fl::TrainerOptions& trainer_options);
+
+}  // namespace fedvr::core

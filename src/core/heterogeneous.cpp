@@ -1,0 +1,54 @@
+#include "core/heterogeneous.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedvr::core {
+
+std::vector<opt::LocalSolver> make_heterogeneous_solvers(
+    std::shared_ptr<const nn::Model> model, const AlgorithmSpec& spec,
+    double beta, std::span<const double> smoothness_per_device) {
+  FEDVR_CHECK_MSG(beta > 0.0, "beta must be positive");
+  FEDVR_CHECK(!smoothness_per_device.empty());
+  std::vector<opt::LocalSolver> solvers;
+  solvers.reserve(smoothness_per_device.size());
+  for (double L_n : smoothness_per_device) {
+    FEDVR_CHECK_MSG(L_n > 0.0,
+                    "per-device smoothness must be positive, got " << L_n);
+    auto options = spec.options;
+    options.eta = 1.0 / (beta * L_n);
+    solvers.emplace_back(model, options);
+  }
+  return solvers;
+}
+
+fl::TrainingTrace run_federated_heterogeneous(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    const AlgorithmSpec& spec, double beta,
+    std::span<const double> smoothness_per_device,
+    const fl::TrainerOptions& trainer_options) {
+  FEDVR_CHECK_MSG(smoothness_per_device.size() == fed.num_devices(),
+                  "need one smoothness constant per device");
+  const auto solvers =
+      make_heterogeneous_solvers(model, spec, beta, smoothness_per_device);
+  fl::Trainer trainer(std::move(model), fed, trainer_options);
+  return trainer.run(solvers, spec.name);
+}
+
+HyperParams plan_hyperparams(double gamma,
+                             const theory::ProblemConstants& pc,
+                             std::size_t batch_size) {
+  const auto optimum = theory::optimize_parameters(gamma, pc);
+  FEDVR_CHECK_MSG(optimum.has_value(),
+                  "no feasible FedProxVR parameters for gamma = " << gamma);
+  HyperParams hp;
+  hp.beta = optimum->beta;
+  hp.smoothness_L = pc.L;
+  hp.tau = static_cast<std::size_t>(std::llround(optimum->tau));
+  hp.mu = optimum->mu;
+  hp.batch_size = batch_size;
+  return hp;
+}
+
+}  // namespace fedvr::core

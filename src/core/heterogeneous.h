@@ -1,0 +1,38 @@
+// Per-device hyperparameters (paper §3: "all of the results in this work
+// are unchanged even when we allow heterogeneous values of L_n and
+// lambda_n") and theory-driven configuration (§4.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "fl/trainer.h"
+#include "theory/param_opt.h"
+
+namespace fedvr::core {
+
+/// Builds one solver per device from a shared spec plus per-device
+/// smoothness constants: device n runs with eta_n = 1/(beta L_n) while tau,
+/// mu, estimator, and batch size stay shared (the synchronous protocol
+/// requires a common tau budget; the timing model charges the max).
+[[nodiscard]] std::vector<opt::LocalSolver> make_heterogeneous_solvers(
+    std::shared_ptr<const nn::Model> model, const AlgorithmSpec& spec,
+    double beta, std::span<const double> smoothness_per_device);
+
+/// Runs a spec with per-device smoothness constants end to end.
+[[nodiscard]] fl::TrainingTrace run_federated_heterogeneous(
+    std::shared_ptr<const nn::Model> model, const data::FederatedDataset& fed,
+    const AlgorithmSpec& spec, double beta,
+    std::span<const double> smoothness_per_device,
+    const fl::TrainerOptions& trainer_options);
+
+/// Theory-driven configuration: solves the §4.3 training-time minimization
+/// for the deployment's gamma and problem constants, and returns ready-made
+/// HyperParams (beta, mu, tau from eqs. 15-16/22-24; smoothness_L = pc.L).
+/// Throws util::Error when no feasible parameters exist.
+[[nodiscard]] HyperParams plan_hyperparams(double gamma,
+                                           const theory::ProblemConstants& pc,
+                                           std::size_t batch_size = 32);
+
+}  // namespace fedvr::core

@@ -1,0 +1,88 @@
+#include "data/federated_split.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "data/synthetic.h"  // power_law_sizes
+#include "util/rng.h"
+
+namespace fedvr::data {
+
+std::vector<int> device_label_set(std::size_t device, std::size_t num_classes,
+                                  std::size_t labels_per_device) {
+  FEDVR_CHECK(labels_per_device >= 1);
+  FEDVR_CHECK_MSG(labels_per_device <= num_classes,
+                  "cannot assign " << labels_per_device << " labels from "
+                                   << num_classes << " classes");
+  std::vector<int> labels;
+  labels.reserve(labels_per_device);
+  // First label cycles through classes; subsequent labels are offset by a
+  // device-dependent stride so label *pairs* also vary across devices.
+  const std::size_t stride = 1 + device / num_classes;
+  std::size_t current = device % num_classes;
+  for (std::size_t j = 0; j < labels_per_device; ++j) {
+    labels.push_back(static_cast<int>(current));
+    current = (current + stride) % num_classes;
+    // Avoid duplicates when stride is a multiple of num_classes.
+    while (std::find(labels.begin(), labels.end(),
+                     static_cast<int>(current)) != labels.end() &&
+           labels.size() < labels_per_device) {
+      current = (current + 1) % num_classes;
+    }
+  }
+  return labels;
+}
+
+FederatedDataset shard_by_label(const Dataset& pool,
+                                const LabelShardConfig& config) {
+  FEDVR_CHECK(!pool.empty());
+  const std::size_t num_classes = pool.num_classes();
+
+  // Per-class index pools, shuffled.
+  std::vector<std::vector<std::size_t>> class_pools(num_classes);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    class_pools[static_cast<std::size_t>(pool.label(i))].push_back(i);
+  }
+  util::Rng shuffle_rng = util::fork(config.seed, 0, 1, util::stream::kData);
+  for (auto& p : class_pools) {
+    FEDVR_CHECK_MSG(!p.empty(),
+                    "pooled dataset is missing a class; cannot shard");
+    shuffle_rng.shuffle(std::span<std::size_t>(p));
+  }
+  std::vector<std::size_t> cursors(num_classes, 0);
+
+  const auto sizes =
+      power_law_sizes(config.num_devices, config.min_samples,
+                      config.max_samples, config.lognormal_sigma, config.seed);
+
+  FederatedDataset fed;
+  fed.train.reserve(config.num_devices);
+  fed.test.reserve(config.num_devices);
+  for (std::size_t k = 0; k < config.num_devices; ++k) {
+    const auto labels =
+        device_label_set(k, num_classes, config.labels_per_device);
+    // Split the device budget roughly evenly across its labels.
+    std::vector<std::size_t> indices;
+    indices.reserve(sizes[k]);
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      const std::size_t want =
+          sizes[k] / labels.size() + (j < sizes[k] % labels.size() ? 1 : 0);
+      auto& cls_pool = class_pools[static_cast<std::size_t>(labels[j])];
+      auto& cursor = cursors[static_cast<std::size_t>(labels[j])];
+      for (std::size_t c = 0; c < want; ++c) {
+        indices.push_back(cls_pool[cursor]);
+        cursor = (cursor + 1) % cls_pool.size();  // wrap: sampling with reuse
+      }
+    }
+    Dataset local = pool.subset(indices);
+    util::Rng split_rng =
+        util::fork(config.seed, k + 1, 2, util::stream::kData);
+    auto [train, test] = local.split(split_rng, config.train_fraction);
+    fed.train.push_back(std::move(train));
+    fed.test.push_back(std::move(test));
+  }
+  return fed;
+}
+
+}  // namespace fedvr::data

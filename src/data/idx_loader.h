@@ -1,0 +1,28 @@
+// Loader for the IDX (ubyte) format used by MNIST and Fashion-MNIST.
+//
+// When the real dataset files (train-images-idx3-ubyte etc.) are placed in a
+// directory, mnist.h prefers them over the procedural substitutes; this
+// module parses the format. Big-endian header per Yann LeCun's spec:
+//   images: magic 0x00000803, count, rows, cols, then count*rows*cols bytes
+//   labels: magic 0x00000801, count, then count bytes
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fedvr::data {
+
+/// Parses an images + labels IDX file pair into a Dataset with pixel values
+/// scaled to [0, 1]. Throws util::Error on malformed files or count
+/// mismatch.
+[[nodiscard]] Dataset load_idx(const std::string& images_path,
+                               const std::string& labels_path,
+                               std::size_t num_classes = 10);
+
+/// True if both files exist and start with the correct IDX magics.
+[[nodiscard]] bool idx_pair_available(const std::string& images_path,
+                                      const std::string& labels_path);
+
+}  // namespace fedvr::data

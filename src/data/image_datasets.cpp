@@ -1,0 +1,47 @@
+#include "data/image_datasets.h"
+
+#include "data/idx_loader.h"
+#include "util/log.h"
+
+namespace fedvr::data {
+
+std::string idx_images_path(const ImageDatasetConfig& config) {
+  const std::string base = config.family == ImageFamily::kDigits
+                               ? config.data_dir
+                               : config.data_dir + "/fashion";
+  return base + "/train-images-idx3-ubyte";
+}
+
+std::string idx_labels_path(const ImageDatasetConfig& config) {
+  const std::string base = config.family == ImageFamily::kDigits
+                               ? config.data_dir
+                               : config.data_dir + "/fashion";
+  return base + "/train-labels-idx1-ubyte";
+}
+
+ImageDatasetResult make_federated_images(const ImageDatasetConfig& config) {
+  ImageDatasetResult result;
+  const std::string images = idx_images_path(config);
+  const std::string labels = idx_labels_path(config);
+  Dataset pool;
+  if (idx_pair_available(images, labels)) {
+    FEDVR_LOG_INFO << "loading real IDX dataset from " << images;
+    pool = load_idx(images, labels);
+    result.used_real_files = true;
+  } else {
+    FEDVR_LOG_INFO << "real IDX files not found under '" << config.data_dir
+                   << "'; generating procedural "
+                   << (config.family == ImageFamily::kDigits ? "digit"
+                                                             : "fashion")
+                   << " images (side=" << config.side
+                   << ", pool=" << config.pool_size << ")";
+    ProceduralImageConfig pc;
+    pc.family = config.family;
+    pc.side = config.side;
+    pool = make_procedural_pool(pc, config.pool_size, config.seed);
+  }
+  result.fed = shard_by_label(pool, config.shard);
+  return result;
+}
+
+}  // namespace fedvr::data

@@ -1,0 +1,43 @@
+// Front door for the paper's image datasets.
+//
+// Prefers real MNIST / Fashion-MNIST IDX files when they are present in
+// `data_dir` (standard file names); otherwise falls back to the procedural
+// substitutes (see procedural_images.h and DESIGN.md §3). Either way the
+// pooled data is sharded non-IID per the paper's protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/federated_split.h"
+#include "data/procedural_images.h"
+
+namespace fedvr::data {
+
+struct ImageDatasetConfig {
+  ImageFamily family = ImageFamily::kDigits;  // kDigits = MNIST-like
+  std::string data_dir = "data";  // where real IDX files would live
+  std::size_t side = 28;          // image side for the procedural fallback
+  std::size_t pool_size = 12000;  // procedural pool size (images)
+  LabelShardConfig shard;
+  std::uint64_t seed = 1;
+};
+
+/// Result of make_federated_images plus provenance for logging.
+struct ImageDatasetResult {
+  FederatedDataset fed;
+  bool used_real_files = false;
+};
+
+/// Builds the pooled dataset (real or procedural) and shards it.
+[[nodiscard]] ImageDatasetResult make_federated_images(
+    const ImageDatasetConfig& config);
+
+/// The standard IDX file names for the family ("train-images-idx3-ubyte",
+/// ...), resolved inside config.data_dir (fashion files live in a
+/// "fashion" subdirectory, mirroring common layouts).
+[[nodiscard]] std::string idx_images_path(const ImageDatasetConfig& config);
+[[nodiscard]] std::string idx_labels_path(const ImageDatasetConfig& config);
+
+}  // namespace fedvr::data

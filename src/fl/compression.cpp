@@ -1,0 +1,92 @@
+#include "fl/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedvr::fl {
+
+namespace {
+std::size_t kept_count(double fraction, std::size_t dim) {
+  if (dim == 0) return 0;
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(fraction * static_cast<double>(dim))));
+}
+
+// Sparse wire format: 8-byte value + 4-byte index per kept coordinate.
+std::size_t sparse_bytes(std::size_t kept) { return kept * (8 + 4); }
+}  // namespace
+
+TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
+  FEDVR_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                  "top-k fraction must be in (0, 1], got " << fraction);
+}
+
+std::size_t TopKCompressor::kept(std::size_t dim) const {
+  return kept_count(fraction_, dim);
+}
+
+void TopKCompressor::compress(std::span<double> delta,
+                              util::Rng& /*rng*/) const {
+  const std::size_t k = kept(delta.size());
+  if (k >= delta.size()) return;
+  // Find the magnitude threshold with nth_element over index permutation.
+  std::vector<std::size_t> order(delta.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), [&delta](std::size_t a, std::size_t b) {
+                     return std::abs(delta[a]) > std::abs(delta[b]);
+                   });
+  std::vector<bool> keep(delta.size(), false);
+  for (std::size_t i = 0; i < k; ++i) keep[order[i]] = true;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    if (!keep[i]) delta[i] = 0.0;
+  }
+}
+
+std::size_t TopKCompressor::wire_bytes(std::size_t dim) const {
+  return sparse_bytes(kept(dim));
+}
+
+std::string TopKCompressor::name() const {
+  return "top-k(" + std::to_string(fraction_) + ")";
+}
+
+RandKCompressor::RandKCompressor(double fraction) : fraction_(fraction) {
+  FEDVR_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                  "rand-k fraction must be in (0, 1], got " << fraction);
+}
+
+std::size_t RandKCompressor::kept(std::size_t dim) const {
+  return kept_count(fraction_, dim);
+}
+
+void RandKCompressor::compress(std::span<double> delta,
+                               util::Rng& rng) const {
+  const std::size_t k = kept(delta.size());
+  if (k >= delta.size()) return;
+  const auto chosen = rng.sample_without_replacement(delta.size(), k);
+  // Unbiasedness: each coordinate survives with probability k/dim, so the
+  // survivors are scaled by dim/k.
+  const double scale =
+      static_cast<double>(delta.size()) / static_cast<double>(k);
+  std::vector<bool> keep(delta.size(), false);
+  for (std::size_t i : chosen) keep[i] = true;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = keep[i] ? delta[i] * scale : 0.0;
+  }
+}
+
+std::size_t RandKCompressor::wire_bytes(std::size_t dim) const {
+  return sparse_bytes(kept(dim));
+}
+
+std::string RandKCompressor::name() const {
+  return "rand-k(" + std::to_string(fraction_) + ")";
+}
+
+}  // namespace fedvr::fl

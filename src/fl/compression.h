@@ -1,0 +1,62 @@
+// Uplink compression for device -> server model updates.
+//
+// The paper buys communication efficiency with more local computation
+// (large tau); sparsifying the uplink is the orthogonal, widely-used lever
+// (Konecny et al., "Federated Learning: Strategies for Improving
+// Communication Efficiency" — the paper's ref. [13]). A compressor acts on
+// the update *delta* w_n - w̄^(s-1): the server reconstructs
+// w̄^(s-1) + C(delta), so compression error never touches the anchor.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace fedvr::fl {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Sparsifies/quantizes `delta` in place. `rng` drives any randomization
+  /// (deterministic per (device, round) via the caller's stream fork).
+  virtual void compress(std::span<double> delta, util::Rng& rng) const = 0;
+
+  /// Bytes on the wire for one compressed vector of length `dim`
+  /// (values + indices for sparse formats).
+  [[nodiscard]] virtual std::size_t wire_bytes(std::size_t dim) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Keeps the `fraction` largest-magnitude coordinates, zeroing the rest.
+/// Biased but low-distortion; the FL deployment default.
+class TopKCompressor final : public Compressor {
+ public:
+  explicit TopKCompressor(double fraction);
+  void compress(std::span<double> delta, util::Rng& rng) const override;
+  [[nodiscard]] std::size_t wire_bytes(std::size_t dim) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t kept(std::size_t dim) const;
+
+ private:
+  double fraction_;
+};
+
+/// Keeps a uniformly random `fraction` of coordinates, rescaled by
+/// 1/fraction so the compressed delta is unbiased: E[C(x)] = x.
+class RandKCompressor final : public Compressor {
+ public:
+  explicit RandKCompressor(double fraction);
+  void compress(std::span<double> delta, util::Rng& rng) const override;
+  [[nodiscard]] std::size_t wire_bytes(std::size_t dim) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t kept(std::size_t dim) const;
+
+ private:
+  double fraction_;
+};
+
+}  // namespace fedvr::fl

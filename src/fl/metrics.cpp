@@ -1,0 +1,81 @@
+#include "fl/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace fedvr::fl {
+
+std::pair<double, std::size_t> TrainingTrace::best_accuracy() const {
+  FEDVR_CHECK_MSG(!rounds.empty(), "empty training trace");
+  double best = -1.0;
+  std::size_t best_round = 0;
+  for (const auto& r : rounds) {
+    if (r.test_accuracy > best) {
+      best = r.test_accuracy;
+      best_round = r.round;
+    }
+  }
+  return {best, best_round};
+}
+
+std::optional<std::size_t> TrainingTrace::first_round_below_loss(
+    double target) const {
+  for (const auto& r : rounds) {
+    if (r.train_loss <= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+double TrainingTrace::min_train_loss() const {
+  FEDVR_CHECK_MSG(!rounds.empty(), "empty training trace");
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& r : rounds) best = std::min(best, r.train_loss);
+  return best;
+}
+
+double TrainingTrace::max_train_loss() const {
+  FEDVR_CHECK_MSG(!rounds.empty(), "empty training trace");
+  double worst = -std::numeric_limits<double>::infinity();
+  for (const auto& r : rounds) {
+    if (std::isnan(r.train_loss)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    worst = std::max(worst, r.train_loss);
+  }
+  return worst;
+}
+
+bool TrainingTrace::diverged(double factor) const {
+  if (rounds.size() < 2) return false;
+  const double first = rounds.front().train_loss;
+  const double last = rounds.back().train_loss;
+  return !std::isfinite(last) || last > factor * first;
+}
+
+void TrainingTrace::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path,
+                      {"algorithm", "round", "train_loss", "test_accuracy",
+                       "grad_norm_sq", "model_time", "wall_seconds",
+                       "mean_local_theta", "comm_bytes",
+                       "sample_grad_evals"});
+  for (const auto& r : rounds) {
+    csv.builder()
+        .add(algorithm)
+        .add(r.round)
+        .add(r.train_loss)
+        .add(r.test_accuracy)
+        .add(r.grad_norm_sq)
+        .add(r.model_time)
+        .add(r.wall_seconds)
+        .add(r.mean_local_theta)
+        .add(r.comm_bytes)
+        .add(r.sample_grad_evals)
+        .commit();
+  }
+}
+
+}  // namespace fedvr::fl

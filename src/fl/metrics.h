@@ -1,0 +1,56 @@
+// Per-round metrics and the training trace written by every experiment.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedvr::fl {
+
+struct RoundMetrics {
+  std::size_t round = 0;          // global iteration s (1-based)
+  double train_loss = 0.0;        // global objective F̄(w̄^(s)) (eq. 2)
+  double test_accuracy = 0.0;     // pooled-test accuracy
+  double grad_norm_sq = -1.0;     // ||∇F̄(w̄^(s))||² when evaluated, else -1
+  double model_time = 0.0;        // cumulative analytic time (eq. 19)
+  double wall_seconds = 0.0;      // cumulative wall-clock
+  double mean_local_theta = -1.0; // measured θ across devices (diagnostics)
+
+  // Cost accounting (cumulative since round 1):
+  std::size_t comm_bytes = 0;        // bytes moved device<->server
+  std::size_t sample_grad_evals = 0; // per-sample gradient evaluations
+};
+
+struct TrainingTrace {
+  std::string algorithm;
+  std::vector<RoundMetrics> rounds;
+  /// The global model w̄^(T) after the last round — checkpoint or deploy it
+  /// (see nn::save_parameters).
+  std::vector<double> final_parameters;
+
+  [[nodiscard]] bool empty() const { return rounds.empty(); }
+  [[nodiscard]] const RoundMetrics& back() const { return rounds.back(); }
+
+  /// Best test accuracy over the trace and the first round that achieved it.
+  [[nodiscard]] std::pair<double, std::size_t> best_accuracy() const;
+
+  /// First round whose train loss drops to `target` or below; nullopt if
+  /// never reached. Used for time-to-target comparisons.
+  [[nodiscard]] std::optional<std::size_t> first_round_below_loss(
+      double target) const;
+
+  /// Minimum training loss over the trace.
+  [[nodiscard]] double min_train_loss() const;
+
+  /// Maximum training loss over the trace (spikes reveal instability).
+  [[nodiscard]] double max_train_loss() const;
+
+  /// True when the tail of the loss curve exploded relative to its start —
+  /// the divergence detector used by the Fig. 4 mu-sweep.
+  [[nodiscard]] bool diverged(double factor = 2.0) const;
+
+  /// Writes all rounds to a CSV at `path`.
+  void write_csv(const std::string& path) const;
+};
+
+}  // namespace fedvr::fl

@@ -1,0 +1,39 @@
+// The paper's analytical training-time model (§4.3, eq. 19):
+//     T_total = T * (d_com + d_cmp * tau)
+// where d_cmp is the device computation delay per inner iteration (Alg. 1
+// lines 7-8) and d_com the per-round communication delay to the server.
+// gamma = d_cmp / d_com is the weight factor swept in Fig. 1.
+#pragma once
+
+#include "util/error.h"
+
+namespace fedvr::fl {
+
+struct TimingModel {
+  double d_com = 1.0;  // communication delay per global round
+  double d_cmp = 0.1;  // computation delay per local iteration
+
+  /// Model time for one global round with tau local iterations.
+  [[nodiscard]] double round_time(std::size_t tau) const {
+    return d_com + d_cmp * static_cast<double>(tau);
+  }
+
+  /// Model time for T rounds (paper eq. 19).
+  [[nodiscard]] double total_time(std::size_t rounds, std::size_t tau) const {
+    return static_cast<double>(rounds) * round_time(tau);
+  }
+
+  /// The weight factor gamma = d_cmp / d_com.
+  [[nodiscard]] double gamma() const {
+    FEDVR_CHECK_MSG(d_com > 0.0, "d_com must be positive");
+    return d_cmp / d_com;
+  }
+
+  /// Builds a model from gamma with d_com normalized to 1.
+  [[nodiscard]] static TimingModel from_gamma(double gamma) {
+    FEDVR_CHECK_MSG(gamma > 0.0, "gamma must be positive, got " << gamma);
+    return TimingModel{.d_com = 1.0, .d_cmp = gamma};
+  }
+};
+
+}  // namespace fedvr::fl

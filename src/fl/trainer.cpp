@@ -1,0 +1,237 @@
+#include "fl/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace fedvr::fl {
+
+Trainer::Trainer(std::shared_ptr<const nn::Model> model,
+                 const data::FederatedDataset& fed, TrainerOptions options)
+    : model_(std::move(model)),
+      fed_(fed),
+      options_(options),
+      pooled_test_(fed.pooled_test()) {
+  FEDVR_CHECK(model_ != nullptr);
+  FEDVR_CHECK(fed_.num_devices() > 0);
+  FEDVR_CHECK(options_.rounds >= 1);
+  FEDVR_CHECK(options_.eval_every >= 1);
+  if (options_.devices_per_round) {
+    FEDVR_CHECK_MSG(*options_.devices_per_round >= 1 &&
+                        *options_.devices_per_round <= fed_.num_devices(),
+                    "devices_per_round out of range");
+  }
+  FEDVR_CHECK_MSG(options_.per_device_timing.empty() ||
+                      options_.per_device_timing.size() == fed_.num_devices(),
+                  "per_device_timing needs one entry per device");
+  for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
+    FEDVR_CHECK_MSG(!fed_.train[n].empty(),
+                    "device " << n << " has no training data");
+  }
+}
+
+double Trainer::global_loss(std::span<const double> w) const {
+  double loss = 0.0;
+  for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
+    loss += fed_.weight(n) * model_->full_loss(w, fed_.train[n]);
+  }
+  return loss;
+}
+
+double Trainer::global_grad_norm_sq(std::span<const double> w) const {
+  std::vector<double> total(model_->num_parameters(), 0.0);
+  std::vector<double> local(model_->num_parameters());
+  for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
+    (void)model_->full_gradient(w, fed_.train[n], local);
+    tensor::axpy(fed_.weight(n), local, total);
+  }
+  return tensor::nrm2_squared(total);
+}
+
+double Trainer::test_accuracy(std::span<const double> w) const {
+  return model_->accuracy(w, pooled_test_);
+}
+
+TrainingTrace Trainer::run(const opt::LocalSolver& solver,
+                           const std::string& name,
+                           std::optional<std::vector<double>> w0) const {
+  return run_impl([&solver](std::size_t) -> const opt::LocalSolver& {
+                    return solver;
+                  },
+                  solver.options().tau, name, std::move(w0));
+}
+
+TrainingTrace Trainer::run(std::span<const opt::LocalSolver> solvers,
+                           const std::string& name,
+                           std::optional<std::vector<double>> w0) const {
+  FEDVR_CHECK_MSG(solvers.size() == fed_.num_devices(),
+                  "got " << solvers.size() << " solvers for "
+                         << fed_.num_devices() << " devices");
+  // Synchronous rounds wait for the slowest device.
+  std::size_t max_tau = 0;
+  for (const auto& s : solvers) {
+    max_tau = std::max(max_tau, s.options().tau);
+  }
+  return run_impl([solvers](std::size_t device) -> const opt::LocalSolver& {
+                    return solvers[device];
+                  },
+                  max_tau, name, std::move(w0));
+}
+
+TrainingTrace Trainer::run_impl(
+    const std::function<const opt::LocalSolver&(std::size_t)>& solver_for,
+    std::size_t timing_tau, const std::string& name,
+    std::optional<std::vector<double>> w0) const {
+  const std::size_t dim = model_->num_parameters();
+  const std::size_t num_devices = fed_.num_devices();
+
+  std::vector<double> w_global;
+  if (w0.has_value()) {
+    FEDVR_CHECK(w0->size() == dim);
+    w_global = std::move(*w0);
+  } else {
+    util::Rng init_rng =
+        util::fork(options_.seed, 0, 0, util::stream::kInit);
+    w_global = model_->initial_parameters(init_rng);
+  }
+
+  TrainingTrace trace;
+  trace.algorithm = name;
+  util::Stopwatch wall;
+  double model_time = 0.0;
+
+  if (options_.eval_initial) {
+    RoundMetrics m;
+    m.round = 0;
+    m.train_loss = global_loss(w_global);
+    m.test_accuracy = test_accuracy(w_global);
+    if (options_.eval_grad_norm) {
+      m.grad_norm_sq = global_grad_norm_sq(w_global);
+    }
+    trace.rounds.push_back(m);
+  }
+
+  std::vector<std::vector<double>> locals(num_devices);
+  std::vector<double> thetas(num_devices, -1.0);
+  std::vector<std::size_t> grad_evals(num_devices, 0);
+  std::size_t total_comm_bytes = 0;
+  std::size_t total_grad_evals = 0;
+
+  for (std::size_t s = 1; s <= options_.rounds; ++s) {
+    // Optional client sampling (FedAvg practicality; off for the paper's
+    // experiments, which use full participation).
+    std::vector<std::size_t> participants;
+    if (options_.devices_per_round &&
+        *options_.devices_per_round < num_devices) {
+      util::Rng select_rng =
+          util::fork(options_.seed, 0, s, util::stream::kSelection);
+      participants = select_rng.sample_without_replacement(
+          num_devices, *options_.devices_per_round);
+    } else {
+      participants.resize(num_devices);
+      std::iota(participants.begin(), participants.end(), 0);
+    }
+
+    // Local updates (Algorithm 1 lines 2-11), device-parallel.
+    auto run_device = [&](std::size_t k) {
+      const std::size_t device = participants[k];
+      util::Rng rng = util::fork(options_.seed, device + 1, s,
+                                 util::stream::kSampling);
+      auto result =
+          solver_for(device).solve(fed_.train[device], w_global, rng);
+      locals[device] = std::move(result.w);
+      if (options_.uplink_compressor) {
+        // Compress the update delta; the server reconstructs anchor+delta.
+        std::vector<double> delta(dim);
+        tensor::sub(locals[device], w_global, delta);
+        util::Rng comp_rng = util::fork(options_.seed, device + 1, s,
+                                        util::stream::kSelection + 10);
+        options_.uplink_compressor->compress(delta, comp_rng);
+        tensor::copy(w_global, locals[device]);
+        tensor::axpy(1.0, delta, locals[device]);
+      }
+      thetas[device] = result.measured_theta;
+      grad_evals[device] = result.sample_gradient_evals;
+    };
+    if (options_.parallel && util::ThreadPool::global().size() > 1) {
+      util::ThreadPool::global().parallel_for(0, participants.size(),
+                                              run_device);
+    } else {
+      for (std::size_t k = 0; k < participants.size(); ++k) run_device(k);
+    }
+
+    // Global aggregation (line 12) over participants, reweighted so the
+    // weights of the sampled subset sum to one.
+    double weight_sum = 0.0;
+    for (std::size_t device : participants) weight_sum += fed_.weight(device);
+    tensor::fill(w_global, 0.0);
+    for (std::size_t device : participants) {
+      tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
+                                  locals[device], w_global);
+    }
+
+    if (options_.per_device_timing.empty()) {
+      model_time += options_.timing.round_time(timing_tau);
+    } else {
+      // Synchronous round: wait for the slowest participant.
+      double slowest = 0.0;
+      for (std::size_t device : participants) {
+        slowest = std::max(
+            slowest, options_.per_device_timing[device].round_time(timing_tau));
+      }
+      model_time += slowest;
+    }
+    // One dense broadcast down plus one (possibly compressed) model up per
+    // participant per round.
+    const std::size_t up_bytes =
+        options_.uplink_compressor
+            ? options_.uplink_compressor->wire_bytes(dim)
+            : dim * sizeof(double);
+    total_comm_bytes +=
+        participants.size() * (dim * sizeof(double) + up_bytes);
+    for (std::size_t device : participants) {
+      total_grad_evals += grad_evals[device];
+    }
+
+    if (s % options_.eval_every == 0 || s == options_.rounds) {
+      RoundMetrics m;
+      m.round = s;
+      m.train_loss = global_loss(w_global);
+      m.test_accuracy = test_accuracy(w_global);
+      if (options_.eval_grad_norm) {
+        m.grad_norm_sq = global_grad_norm_sq(w_global);
+      }
+      m.model_time = model_time;
+      m.wall_seconds = wall.seconds();
+      m.comm_bytes = total_comm_bytes;
+      m.sample_grad_evals = total_grad_evals;
+      if (options_.collect_theta) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t device : participants) {
+          if (thetas[device] >= 0.0) {
+            sum += thetas[device];
+            ++count;
+          }
+        }
+        m.mean_local_theta = count > 0 ? sum / static_cast<double>(count)
+                                       : -1.0;
+      }
+      trace.rounds.push_back(m);
+      FEDVR_LOG_DEBUG << name << " round " << s << " loss " << m.train_loss
+                      << " acc " << m.test_accuracy;
+      if (options_.target_accuracy &&
+          m.test_accuracy >= *options_.target_accuracy) {
+        break;
+      }
+    }
+  }
+  trace.final_parameters = std::move(w_global);
+  return trace;
+}
+
+}  // namespace fedvr::fl

@@ -1,0 +1,97 @@
+// The synchronous federated engine: Algorithm 1's outer loop.
+//
+// Each global round s:
+//   1. broadcast w̄^(s-1) to all (or a sampled subset of) devices,
+//   2. run the device-local solver on every device — in parallel on a
+//      thread pool ("for n in N do in parallel"),
+//   3. aggregate w̄^(s) = sum_n (D_n/D) w_n^(s)   (line 12),
+//   4. evaluate metrics and append to the trace.
+//
+// Determinism: the per-device, per-round RNG is forked from the master seed
+// by (device, round) coordinates, so traces are identical however devices
+// are scheduled onto threads.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "data/dataset.h"
+#include "fl/compression.h"
+#include "fl/metrics.h"
+#include "fl/timing_model.h"
+#include "nn/model.h"
+#include "opt/local_solver.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::fl {
+
+struct TrainerOptions {
+  std::size_t rounds = 100;       // T global iterations
+  std::uint64_t seed = 1;
+  TimingModel timing;
+  std::size_t eval_every = 1;     // metric cadence (rounds)
+  bool eval_initial = false;      // record a round-0 entry at w̄^(0)
+  bool eval_grad_norm = false;    // ||∇F̄||² costs a full pass; opt-in
+  bool collect_theta = false;     // per-device θ diagnostics (costly)
+  /// Devices participating per round; nullopt = all (the paper's setting).
+  std::optional<std::size_t> devices_per_round;
+  /// Stop early once pooled-test accuracy reaches this value (if set).
+  std::optional<double> target_accuracy;
+  /// Optional uplink compressor applied to each device's update delta
+  /// (w_n - w̄^(s-1)) before aggregation; comm accounting uses its wire
+  /// format for the uplink.
+  std::shared_ptr<const Compressor> uplink_compressor;
+  /// Optional per-device timing models (stragglers): when non-empty (one
+  /// per device), a synchronous round costs the *maximum* participant
+  /// time instead of options.timing.
+  std::vector<TimingModel> per_device_timing;
+  /// Parallel device execution. Deterministic either way.
+  bool parallel = true;
+};
+
+class Trainer {
+ public:
+  /// The trainer borrows the dataset; it must outlive the trainer.
+  Trainer(std::shared_ptr<const nn::Model> model,
+          const data::FederatedDataset& fed, TrainerOptions options);
+
+  /// Runs `solver` for options().rounds global rounds starting from a fresh
+  /// initialization (or `w0` if provided). `name` labels the trace.
+  [[nodiscard]] TrainingTrace run(
+      const opt::LocalSolver& solver, const std::string& name,
+      std::optional<std::vector<double>> w0 = std::nullopt) const;
+
+  /// Heterogeneous-device variant (paper §3: per-device L_n, lambda_n):
+  /// device n runs solvers[n], which may differ in step size, tau, or
+  /// estimator. solvers.size() must equal the device count. The timing
+  /// model charges the slowest device's tau per round (synchronous rounds).
+  [[nodiscard]] TrainingTrace run(
+      std::span<const opt::LocalSolver> solvers, const std::string& name,
+      std::optional<std::vector<double>> w0 = std::nullopt) const;
+
+  /// The global objective F̄(w) = sum_n (D_n/D) F_n(w) (eq. 2).
+  [[nodiscard]] double global_loss(std::span<const double> w) const;
+
+  /// ||∇F̄(w)||², the paper's stationarity gap (eq. 12).
+  [[nodiscard]] double global_grad_norm_sq(std::span<const double> w) const;
+
+  /// Accuracy on the pooled test set.
+  [[nodiscard]] double test_accuracy(std::span<const double> w) const;
+
+  [[nodiscard]] const TrainerOptions& options() const { return options_; }
+
+ private:
+  TrainingTrace run_impl(
+      const std::function<const opt::LocalSolver&(std::size_t)>& solver_for,
+      std::size_t timing_tau, const std::string& name,
+      std::optional<std::vector<double>> w0) const;
+
+  std::shared_ptr<const nn::Model> model_;
+  const data::FederatedDataset& fed_;
+  TrainerOptions options_;
+  data::Dataset pooled_test_;
+};
+
+}  // namespace fedvr::fl

@@ -1,0 +1,84 @@
+// Parameter-free activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedvr::nn {
+
+/// Base for elementwise parameter-free activations. Subclasses provide
+/// value(x) and derivative-from-output (activations here are invertible
+/// enough that dy/dx is a function of the *output*, which saves caching the
+/// pre-activation for tanh/sigmoid).
+class ElementwiseLayer : public Layer {
+ public:
+  explicit ElementwiseLayer(std::size_t size);
+
+  [[nodiscard]] std::size_t in_size() const override { return size_; }
+  [[nodiscard]] std::size_t out_size() const override { return size_; }
+  [[nodiscard]] std::size_t param_count() const override { return 0; }
+  void init_params(util::Rng& rng, std::span<double> w) const override;
+  void forward(std::span<const double> w, std::size_t batch,
+               std::span<const double> x, std::span<double> y,
+               LayerCache* cache) const override;
+  void backward(std::span<const double> w, std::size_t batch,
+                std::span<const double> dy, std::span<double> dx,
+                std::span<double> dw, const LayerCache& cache) const override;
+
+ protected:
+  [[nodiscard]] virtual double value(double x) const = 0;
+  /// dy/dx expressed through the forward *output* y.
+  [[nodiscard]] virtual double derivative_from_output(double y) const = 0;
+
+ private:
+  std::size_t size_;
+};
+
+class TanhLayer final : public ElementwiseLayer {
+ public:
+  using ElementwiseLayer::ElementwiseLayer;
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+
+ protected:
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative_from_output(double y) const override {
+    return 1.0 - y * y;
+  }
+};
+
+class SigmoidLayer final : public ElementwiseLayer {
+ public:
+  using ElementwiseLayer::ElementwiseLayer;
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+
+ protected:
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative_from_output(double y) const override {
+    return y * (1.0 - y);
+  }
+};
+
+class ReluLayer final : public Layer {
+ public:
+  explicit ReluLayer(std::size_t size);
+
+  [[nodiscard]] std::size_t in_size() const override { return size_; }
+  [[nodiscard]] std::size_t out_size() const override { return size_; }
+  [[nodiscard]] std::size_t param_count() const override { return 0; }
+
+  void init_params(util::Rng& rng, std::span<double> w) const override;
+
+  void forward(std::span<const double> w, std::size_t batch,
+               std::span<const double> x, std::span<double> y,
+               LayerCache* cache) const override;
+
+  void backward(std::span<const double> w, std::size_t batch,
+                std::span<const double> dy, std::span<double> dx,
+                std::span<double> dw, const LayerCache& cache) const override;
+
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace fedvr::nn

@@ -1,0 +1,26 @@
+// Model parameter checkpointing.
+//
+// Format: a small fixed header (magic, version, count) followed by raw
+// little-endian IEEE-754 doubles. Deliberately minimal — parameters are the
+// only state a fedvr model has.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedvr::nn {
+
+/// Writes `w` to `path` (truncating). Throws util::Error on I/O failure.
+void save_parameters(const std::string& path, std::span<const double> w);
+
+/// Reads a checkpoint written by save_parameters. Throws util::Error on
+/// malformed files.
+[[nodiscard]] std::vector<double> load_parameters(const std::string& path);
+
+/// Loads and validates the parameter count against `expected` (e.g.
+/// model.num_parameters()).
+[[nodiscard]] std::vector<double> load_parameters(const std::string& path,
+                                                  std::size_t expected);
+
+}  // namespace fedvr::nn

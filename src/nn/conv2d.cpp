@@ -1,0 +1,103 @@
+#include "nn/conv2d.h"
+
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/random_init.h"
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::nn {
+
+Conv2dLayer::Conv2dLayer(tensor::ConvGeometry geometry,
+                         std::size_t out_channels)
+    : geometry_(geometry), out_channels_(out_channels) {
+  FEDVR_CHECK(out_channels > 0);
+  FEDVR_CHECK(geometry.channels > 0 && geometry.height > 0 &&
+              geometry.width > 0);
+}
+
+void Conv2dLayer::init_params(util::Rng& rng, std::span<double> w) const {
+  FEDVR_CHECK(w.size() == param_count());
+  const std::size_t fan_in = geometry_.col_rows();
+  const std::size_t fan_out =
+      out_channels_ * geometry_.kernel_h * geometry_.kernel_w;
+  tensor::fill_glorot_uniform(rng, w.subspan(0, out_channels_ * fan_in),
+                              fan_in, fan_out);
+  tensor::fill(w.subspan(out_channels_ * fan_in, out_channels_), 0.0);
+}
+
+void Conv2dLayer::forward(std::span<const double> w, std::size_t batch,
+                          std::span<const double> x, std::span<double> y,
+                          LayerCache* cache) const {
+  FEDVR_CHECK(w.size() == param_count());
+  FEDVR_CHECK(x.size() == batch * in_size() && y.size() == batch * out_size());
+  const std::size_t col_rows = geometry_.col_rows();
+  const std::size_t pixels = geometry_.out_pixels();
+  const auto weights = w.subspan(0, out_channels_ * col_rows);
+  const auto bias = w.subspan(out_channels_ * col_rows, out_channels_);
+
+  // Caching im2col columns for every sample would cost
+  // batch*col_rows*pixels doubles (tens of MB for the paper's CNN), so only
+  // the input is cached and backward recomputes the columns per sample.
+  std::vector<double> cols(col_rows * pixels);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const auto image = x.subspan(s * in_size(), in_size());
+    auto out = y.subspan(s * out_size(), out_size());
+    tensor::im2col(geometry_, image, cols);
+    // out (oc x pixels) = W (oc x col_rows) * cols (col_rows x pixels)
+    tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kNo, out_channels_,
+                        pixels, col_rows, 1.0, weights, cols, 0.0, out);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      double* plane = out.data() + oc * pixels;
+      const double b = bias[oc];
+      for (std::size_t p = 0; p < pixels; ++p) plane[p] += b;
+    }
+  }
+  if (cache != nullptr) cache->input.assign(x.begin(), x.end());
+}
+
+void Conv2dLayer::backward(std::span<const double> w, std::size_t batch,
+                           std::span<const double> dy, std::span<double> dx,
+                           std::span<double> dw,
+                           const LayerCache& cache) const {
+  FEDVR_CHECK(w.size() == param_count() && dw.size() == param_count());
+  FEDVR_CHECK(dy.size() == batch * out_size() &&
+              dx.size() == batch * in_size());
+  FEDVR_CHECK(cache.input.size() == batch * in_size());
+  const std::size_t col_rows = geometry_.col_rows();
+  const std::size_t pixels = geometry_.out_pixels();
+  const auto weights = w.subspan(0, out_channels_ * col_rows);
+  auto d_weights = dw.subspan(0, out_channels_ * col_rows);
+  auto d_bias = dw.subspan(out_channels_ * col_rows, out_channels_);
+  const std::span<const double> input = cache.input;
+
+  std::vector<double> cols(col_rows * pixels);
+  std::vector<double> d_cols(col_rows * pixels);
+  for (std::size_t s = 0; s < batch; ++s) {
+    const auto image = input.subspan(s * in_size(), in_size());
+    const auto d_out = dy.subspan(s * out_size(), out_size());
+    auto d_image = dx.subspan(s * in_size(), in_size());
+
+    // dW (oc x col_rows) += d_out (oc x pixels) * cols^T (pixels x col_rows)
+    tensor::im2col(geometry_, image, cols);
+    tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kYes,
+                        out_channels_, col_rows, pixels, 1.0, d_out, cols,
+                        1.0, d_weights);
+    // db[oc] += sum over pixels of d_out(oc, .)
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const double* plane = d_out.data() + oc * pixels;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < pixels; ++p) acc += plane[p];
+      d_bias[oc] += acc;
+    }
+    // d_cols (col_rows x pixels) = W^T (col_rows x oc) * d_out (oc x pixels)
+    tensor::gemm_packed(tensor::Trans::kYes, tensor::Trans::kNo, col_rows,
+                        pixels, out_channels_, 1.0, weights, d_out, 0.0,
+                        d_cols);
+    tensor::fill(d_image, 0.0);
+    tensor::col2im(geometry_, d_cols, d_image);
+  }
+}
+
+}  // namespace fedvr::nn

@@ -1,0 +1,117 @@
+#include "nn/feedforward.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "tensor/kernels.h"
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::nn {
+
+FeedForwardModel::FeedForwardModel(std::shared_ptr<const Sequential> net,
+                                   double l2_reg, std::size_t max_chunk)
+    : net_(std::move(net)), l2_reg_(l2_reg), max_chunk_(max_chunk) {
+  FEDVR_CHECK(net_ != nullptr);
+  FEDVR_CHECK(l2_reg >= 0.0);
+  FEDVR_CHECK(max_chunk_ >= 1);
+}
+
+void FeedForwardModel::initialize(util::Rng& rng, std::span<double> w) const {
+  FEDVR_CHECK(w.size() == num_parameters());
+  net_->init_params(rng, w);
+}
+
+void FeedForwardModel::gather(const data::Dataset& ds,
+                              std::span<const std::size_t> indices,
+                              std::vector<double>& xbuf,
+                              std::vector<int>& ybuf) const {
+  const std::size_t dim = ds.feature_dim();
+  FEDVR_CHECK_MSG(dim == net_->in_size(),
+                  "dataset features (" << dim << ") do not match model input ("
+                                       << net_->in_size() << ")");
+  xbuf.resize(indices.size() * dim);
+  ybuf.resize(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto row = ds.sample(indices[k]);
+    std::copy(row.begin(), row.end(), xbuf.begin() + static_cast<std::ptrdiff_t>(k * dim));
+    ybuf[k] = ds.label(indices[k]);
+  }
+}
+
+double FeedForwardModel::loss(std::span<const double> w,
+                              const data::Dataset& ds,
+                              std::span<const std::size_t> indices) const {
+  FEDVR_CHECK(w.size() == num_parameters());
+  FEDVR_CHECK(!indices.empty());
+  Sequential::Workspace ws;
+  std::vector<double> xbuf;
+  std::vector<int> ybuf;
+  double weighted = 0.0;
+  for (std::size_t start = 0; start < indices.size(); start += max_chunk_) {
+    const std::size_t count = std::min(max_chunk_, indices.size() - start);
+    gather(ds, indices.subspan(start, count), xbuf, ybuf);
+    const auto logits = net_->forward(w, count, xbuf, ws, /*training=*/false);
+    weighted += static_cast<double>(count) *
+                softmax_cross_entropy(count, net_->out_size(), logits, ybuf);
+  }
+  double value = weighted / static_cast<double>(indices.size());
+  if (l2_reg_ > 0.0) value += 0.5 * l2_reg_ * tensor::nrm2_squared(w);
+  return value;
+}
+
+double FeedForwardModel::loss_and_gradient(
+    std::span<const double> w, const data::Dataset& ds,
+    std::span<const std::size_t> indices, std::span<double> grad) const {
+  FEDVR_CHECK(w.size() == num_parameters());
+  FEDVR_CHECK(grad.size() == num_parameters());
+  FEDVR_CHECK(!indices.empty());
+  tensor::fill(grad, 0.0);
+  Sequential::Workspace ws;
+  std::vector<double> xbuf;
+  std::vector<int> ybuf;
+  std::vector<double> d_logits;
+  std::vector<double> chunk_grad(num_parameters());
+  double weighted = 0.0;
+  for (std::size_t start = 0; start < indices.size(); start += max_chunk_) {
+    const std::size_t count = std::min(max_chunk_, indices.size() - start);
+    gather(ds, indices.subspan(start, count), xbuf, ybuf);
+    const auto logits = net_->forward(w, count, xbuf, ws, /*training=*/true);
+    d_logits.resize(count * net_->out_size());
+    const double chunk_loss = softmax_cross_entropy_backward(
+        count, net_->out_size(), logits, ybuf, d_logits);
+    weighted += static_cast<double>(count) * chunk_loss;
+    // Chunk gradients are per-chunk means; rescale into a global mean.
+    tensor::fill(chunk_grad, 0.0);
+    net_->backward(w, count, xbuf, d_logits, chunk_grad, ws);
+    tensor::axpy(static_cast<double>(count) /
+                     static_cast<double>(indices.size()),
+                 chunk_grad, grad);
+  }
+  double value = weighted / static_cast<double>(indices.size());
+  if (l2_reg_ > 0.0) {
+    value += 0.5 * l2_reg_ * tensor::nrm2_squared(w);
+    tensor::axpy(l2_reg_, w, grad);
+  }
+  return value;
+}
+
+void FeedForwardModel::predict(std::span<const double> w,
+                               const data::Dataset& ds,
+                               std::span<const std::size_t> indices,
+                               std::span<std::size_t> out) const {
+  FEDVR_CHECK(w.size() == num_parameters());
+  FEDVR_CHECK(out.size() == indices.size());
+  Sequential::Workspace ws;
+  std::vector<double> xbuf;
+  std::vector<int> ybuf;
+  for (std::size_t start = 0; start < indices.size(); start += max_chunk_) {
+    const std::size_t count = std::min(max_chunk_, indices.size() - start);
+    gather(ds, indices.subspan(start, count), xbuf, ybuf);
+    const auto logits = net_->forward(w, count, xbuf, ws, /*training=*/false);
+    tensor::argmax_rows(count, net_->out_size(), logits,
+                        out.subspan(start, count));
+  }
+}
+
+}  // namespace fedvr::nn

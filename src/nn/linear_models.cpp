@@ -1,0 +1,165 @@
+#include "nn/linear_models.h"
+
+#include <algorithm>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::nn {
+
+// ---------------- LinearRegressionModel ----------------
+
+LinearRegressionModel::LinearRegressionModel(std::size_t dim, double l2_reg)
+    : dim_(dim), l2_reg_(l2_reg) {
+  FEDVR_CHECK(dim > 0 && l2_reg >= 0.0);
+}
+
+void LinearRegressionModel::initialize(util::Rng& rng,
+                                       std::span<double> w) const {
+  FEDVR_CHECK(w.size() == dim_);
+  for (auto& v : w) v = rng.normal(0.0, 0.1);
+}
+
+namespace {
+// Validates the (features, target) convention for the regression model.
+void check_regression_sample(const data::Dataset& ds, std::size_t dim) {
+  FEDVR_CHECK_MSG(ds.feature_dim() == dim + 1,
+                  "regression samples need dim+1 = " << dim + 1
+                      << " entries (features + target), dataset has "
+                      << ds.feature_dim());
+}
+}  // namespace
+
+double LinearRegressionModel::loss(std::span<const double> w,
+                                   const data::Dataset& ds,
+                                   std::span<const std::size_t> indices)
+    const {
+  FEDVR_CHECK(w.size() == dim_ && !indices.empty());
+  check_regression_sample(ds, dim_);
+  double total = 0.0;
+  for (std::size_t i : indices) {
+    const auto row = ds.sample(i);
+    const double err = tensor::dot(row.subspan(0, dim_), w) - row[dim_];
+    total += 0.5 * err * err;
+  }
+  double value = total / static_cast<double>(indices.size());
+  if (l2_reg_ > 0.0) value += 0.5 * l2_reg_ * tensor::nrm2_squared(w);
+  return value;
+}
+
+double LinearRegressionModel::loss_and_gradient(
+    std::span<const double> w, const data::Dataset& ds,
+    std::span<const std::size_t> indices, std::span<double> grad) const {
+  FEDVR_CHECK(w.size() == dim_ && grad.size() == dim_ && !indices.empty());
+  check_regression_sample(ds, dim_);
+  tensor::fill(grad, 0.0);
+  double total = 0.0;
+  for (std::size_t i : indices) {
+    const auto row = ds.sample(i);
+    const auto x = row.subspan(0, dim_);
+    const double err = tensor::dot(x, w) - row[dim_];
+    total += 0.5 * err * err;
+    tensor::axpy(err, x, grad);
+  }
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  tensor::scal(inv, grad);
+  double value = total * inv;
+  if (l2_reg_ > 0.0) {
+    value += 0.5 * l2_reg_ * tensor::nrm2_squared(w);
+    tensor::axpy(l2_reg_, w, grad);
+  }
+  return value;
+}
+
+void LinearRegressionModel::predict(std::span<const double> w,
+                                    const data::Dataset& ds,
+                                    std::span<const std::size_t> indices,
+                                    std::span<std::size_t> out) const {
+  FEDVR_CHECK(out.size() == indices.size());
+  check_regression_sample(ds, dim_);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto row = ds.sample(indices[k]);
+    out[k] = tensor::dot(row.subspan(0, dim_), w) >= 0.0 ? 1u : 0u;
+  }
+}
+
+// ---------------- LinearSvmModel ----------------
+
+LinearSvmModel::LinearSvmModel(std::size_t dim, double l2_reg)
+    : dim_(dim), l2_reg_(l2_reg) {
+  FEDVR_CHECK(dim > 0 && l2_reg >= 0.0);
+}
+
+void LinearSvmModel::initialize(util::Rng& rng, std::span<double> w) const {
+  FEDVR_CHECK(w.size() == dim_ + 1);
+  for (auto& v : w) v = rng.normal(0.0, 0.1);
+  w[dim_] = 0.0;  // bias
+}
+
+double LinearSvmModel::loss(std::span<const double> w,
+                            const data::Dataset& ds,
+                            std::span<const std::size_t> indices) const {
+  FEDVR_CHECK(w.size() == dim_ + 1 && !indices.empty());
+  FEDVR_CHECK_MSG(ds.feature_dim() == dim_,
+                  "SVM expects " << dim_ << " features, dataset has "
+                                 << ds.feature_dim());
+  const auto weights = w.subspan(0, dim_);
+  const double bias = w[dim_];
+  double total = 0.0;
+  for (std::size_t i : indices) {
+    const double y = ds.label(i) > 0 ? 1.0 : -1.0;
+    const double margin =
+        y * (tensor::dot(ds.sample(i), weights) + bias);
+    total += std::max(0.0, 1.0 - margin);
+  }
+  double value = total / static_cast<double>(indices.size());
+  if (l2_reg_ > 0.0) value += 0.5 * l2_reg_ * tensor::nrm2_squared(weights);
+  return value;
+}
+
+double LinearSvmModel::loss_and_gradient(std::span<const double> w,
+                                         const data::Dataset& ds,
+                                         std::span<const std::size_t> indices,
+                                         std::span<double> grad) const {
+  FEDVR_CHECK(w.size() == dim_ + 1 && grad.size() == dim_ + 1);
+  FEDVR_CHECK(!indices.empty());
+  const auto weights = w.subspan(0, dim_);
+  const double bias = w[dim_];
+  tensor::fill(grad, 0.0);
+  auto grad_w = grad.subspan(0, dim_);
+  double total = 0.0;
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  for (std::size_t i : indices) {
+    const double y = ds.label(i) > 0 ? 1.0 : -1.0;
+    const auto x = ds.sample(i);
+    const double margin = y * (tensor::dot(x, weights) + bias);
+    if (margin < 1.0) {
+      total += 1.0 - margin;
+      // Subgradient of max{0, 1 - margin}: -y x (and -y for the bias).
+      tensor::axpy(-y * inv, x, grad_w);
+      grad[dim_] -= y * inv;
+    }
+  }
+  double value = total * inv;
+  if (l2_reg_ > 0.0) {
+    value += 0.5 * l2_reg_ * tensor::nrm2_squared(weights);
+    tensor::axpy(l2_reg_, weights, grad_w);
+  }
+  return value;
+}
+
+void LinearSvmModel::predict(std::span<const double> w,
+                             const data::Dataset& ds,
+                             std::span<const std::size_t> indices,
+                             std::span<std::size_t> out) const {
+  FEDVR_CHECK(out.size() == indices.size());
+  const auto weights = w.subspan(0, dim_);
+  const double bias = w[dim_];
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const double score =
+        tensor::dot(ds.sample(indices[k]), weights) + bias;
+    out[k] = score >= 0.0 ? 1u : 0u;
+  }
+}
+
+}  // namespace fedvr::nn

@@ -1,0 +1,69 @@
+// The paper's §3 example loss functions as ready-made models:
+//   linear regression  f_i(w) = 0.5 (x_i^T w - y_i)^2
+//   linear SVM         f_i(w) = max{0, 1 - y_i x_i^T w},  y_i in {-1, +1}
+// both with optional L2 regularization.
+//
+// Conventions: features occupy a sample's first `dim` entries. For the
+// regression model the target is the sample's LAST entry (feature vectors
+// are dim+1 long); for the SVM the class label 0/1 maps to y = -1/+1.
+// The hinge loss is non-smooth at the margin; the standard subgradient
+// (zero at the kink) is used, which is what SGD practice does.
+#pragma once
+
+#include <memory>
+
+#include "nn/model.h"
+
+namespace fedvr::nn {
+
+class LinearRegressionModel final : public Model {
+ public:
+  /// Samples are (dim features, 1 target); parameters are dim weights.
+  explicit LinearRegressionModel(std::size_t dim, double l2_reg = 0.0);
+
+  [[nodiscard]] std::size_t num_parameters() const override { return dim_; }
+  void initialize(util::Rng& rng, std::span<double> w) const override;
+  [[nodiscard]] double loss(std::span<const double> w,
+                            const data::Dataset& ds,
+                            std::span<const std::size_t> indices)
+      const override;
+  double loss_and_gradient(std::span<const double> w, const data::Dataset& ds,
+                           std::span<const std::size_t> indices,
+                           std::span<double> grad) const override;
+  /// Classifies by the sign of the prediction (for accuracy plumbing).
+  void predict(std::span<const double> w, const data::Dataset& ds,
+               std::span<const std::size_t> indices,
+               std::span<std::size_t> out) const override;
+
+ private:
+  std::size_t dim_;
+  double l2_reg_;
+};
+
+class LinearSvmModel final : public Model {
+ public:
+  /// Binary hinge-loss SVM: labels 0/1 are treated as y = -1/+1;
+  /// parameters are dim weights plus a bias.
+  explicit LinearSvmModel(std::size_t dim, double l2_reg = 1e-3);
+
+  [[nodiscard]] std::size_t num_parameters() const override {
+    return dim_ + 1;
+  }
+  void initialize(util::Rng& rng, std::span<double> w) const override;
+  [[nodiscard]] double loss(std::span<const double> w,
+                            const data::Dataset& ds,
+                            std::span<const std::size_t> indices)
+      const override;
+  double loss_and_gradient(std::span<const double> w, const data::Dataset& ds,
+                           std::span<const std::size_t> indices,
+                           std::span<double> grad) const override;
+  void predict(std::span<const double> w, const data::Dataset& ds,
+               std::span<const std::size_t> indices,
+               std::span<std::size_t> out) const override;
+
+ private:
+  std::size_t dim_;
+  double l2_reg_;
+};
+
+}  // namespace fedvr::nn

@@ -1,0 +1,22 @@
+// Softmax cross-entropy loss head.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fedvr::nn {
+
+/// Mean cross-entropy of softmax(logits) against integer labels.
+/// logits: (batch x classes) row-major. Returns the scalar loss.
+[[nodiscard]] double softmax_cross_entropy(std::size_t batch,
+                                           std::size_t classes,
+                                           std::span<const double> logits,
+                                           std::span<const int> labels);
+
+/// Loss and its gradient with respect to the logits:
+/// d_logits = (softmax(logits) - onehot(labels)) / batch.
+[[nodiscard]] double softmax_cross_entropy_backward(
+    std::size_t batch, std::size_t classes, std::span<const double> logits,
+    std::span<const int> labels, std::span<double> d_logits);
+
+}  // namespace fedvr::nn

@@ -1,0 +1,47 @@
+#include "nn/model.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace fedvr::nn {
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+double Model::full_loss(std::span<const double> w,
+                        const data::Dataset& ds) const {
+  const auto idx = all_indices(ds.size());
+  return loss(w, ds, idx);
+}
+
+double Model::full_gradient(std::span<const double> w,
+                            const data::Dataset& ds,
+                            std::span<double> grad) const {
+  const auto idx = all_indices(ds.size());
+  return loss_and_gradient(w, ds, idx, grad);
+}
+
+double Model::accuracy(std::span<const double> w,
+                       const data::Dataset& ds) const {
+  FEDVR_CHECK(!ds.empty());
+  const auto idx = all_indices(ds.size());
+  std::vector<std::size_t> pred(ds.size());
+  predict(w, ds, idx, pred);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (pred[i] == static_cast<std::size_t>(ds.label(i))) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+std::vector<double> Model::initial_parameters(util::Rng& rng) const {
+  std::vector<double> w(num_parameters());
+  initialize(rng, w);
+  return w;
+}
+
+}  // namespace fedvr::nn

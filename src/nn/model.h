@@ -1,0 +1,69 @@
+// The Model interface: everything the federated solvers need from a
+// learning task.
+//
+// A Model is immutable and thread-safe; parameters travel as flat vectors
+// owned by the caller. Gradients are *evaluable at arbitrary parameter
+// vectors* — the property SVRG (eq. 8b) and SARAH (eq. 8a) rely on when they
+// combine gradients at the current iterate with gradients at an anchor.
+//
+// All losses and gradients are averaged over the given index set, matching
+// the paper's F_n(w) = (1/D_n) sum_i f_i(w) (eq. 1).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fedvr::nn {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  [[nodiscard]] virtual std::size_t num_parameters() const = 0;
+
+  /// Writes a fresh initialization into `w`.
+  virtual void initialize(util::Rng& rng, std::span<double> w) const = 0;
+
+  /// Mean loss over ds[indices] at parameters w.
+  [[nodiscard]] virtual double loss(
+      std::span<const double> w, const data::Dataset& ds,
+      std::span<const std::size_t> indices) const = 0;
+
+  /// Mean loss and gradient over ds[indices]; `grad` is overwritten.
+  virtual double loss_and_gradient(std::span<const double> w,
+                                   const data::Dataset& ds,
+                                   std::span<const std::size_t> indices,
+                                   std::span<double> grad) const = 0;
+
+  /// Predicted class per sample.
+  virtual void predict(std::span<const double> w, const data::Dataset& ds,
+                       std::span<const std::size_t> indices,
+                       std::span<std::size_t> out) const = 0;
+
+  // ---- Convenience wrappers (implemented on the virtual core). ----
+
+  /// Mean loss over the whole dataset.
+  [[nodiscard]] double full_loss(std::span<const double> w,
+                                 const data::Dataset& ds) const;
+
+  /// Mean loss and full-batch gradient over the whole dataset — the
+  /// v^(0) = grad F_n(w^(0)) anchor evaluation on Algorithm 1 line 4.
+  double full_gradient(std::span<const double> w, const data::Dataset& ds,
+                       std::span<double> grad) const;
+
+  /// Fraction of correctly classified samples.
+  [[nodiscard]] double accuracy(std::span<const double> w,
+                                const data::Dataset& ds) const;
+
+  /// Allocates and initializes a parameter vector.
+  [[nodiscard]] std::vector<double> initial_parameters(util::Rng& rng) const;
+};
+
+/// All-sample index vector [0, n) — helper for full-batch calls.
+[[nodiscard]] std::vector<std::size_t> all_indices(std::size_t n);
+
+}  // namespace fedvr::nn

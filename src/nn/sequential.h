@@ -1,0 +1,57 @@
+// Linear chain of layers sharing one flat parameter vector.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedvr::nn {
+
+class Sequential {
+ public:
+  explicit Sequential(std::vector<std::unique_ptr<Layer>> layers);
+
+  [[nodiscard]] std::size_t in_size() const;
+  [[nodiscard]] std::size_t out_size() const;
+  [[nodiscard]] std::size_t param_count() const { return total_params_; }
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// The [offset, offset+count) slice of the flat vector owned by layer i.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> param_slice(
+      std::size_t i) const;
+
+  void init_params(util::Rng& rng, std::span<double> w) const;
+
+  /// Per-call workspace: activation buffers and per-layer caches. Reusable
+  /// across calls from the same thread; cheap to construct.
+  struct Workspace {
+    std::vector<std::vector<double>> activations;  // layer outputs
+    std::vector<LayerCache> caches;
+    std::vector<std::vector<double>> grads;  // gradient buffers (backward)
+  };
+
+  /// Runs the batch through all layers; returns the final activation span
+  /// (valid until the next call with the same workspace). `training` selects
+  /// whether caches are populated for backward().
+  [[nodiscard]] std::span<const double> forward(std::span<const double> w,
+                                                std::size_t batch,
+                                                std::span<const double> x,
+                                                Workspace& ws,
+                                                bool training) const;
+
+  /// Backpropagates d_out (gradient w.r.t. the final activation) and
+  /// accumulates parameter gradients into dw. Must follow a forward() with
+  /// training == true on the same workspace and batch.
+  void backward(std::span<const double> w, std::size_t batch,
+                std::span<const double> x, std::span<const double> d_out,
+                std::span<double> dw, Workspace& ws) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::size_t> offsets_;  // param offset per layer
+  std::size_t total_params_ = 0;
+};
+
+}  // namespace fedvr::nn

@@ -1,0 +1,26 @@
+// Stochastic gradient estimators for the local inner loop (paper eq. 8).
+#pragma once
+
+#include <string>
+
+namespace fedvr::opt {
+
+/// Which direction v_{n,s}^{(t)} the inner loop uses (Algorithm 1 line 7).
+enum class Estimator {
+  kSgd,           // v_t = grad f_it(w_t)                     (vanilla SGD)
+  kSvrg,          // v_t = grad f_it(w_t) - grad f_it(w_0) + v_0     (eq. 8b)
+  kSarah,         // v_t = grad f_it(w_t) - grad f_it(w_{t-1}) + v_{t-1} (8a)
+  kFullGradient,  // v_t = grad F_n(w_t)                 (GD baseline, [31])
+};
+
+[[nodiscard]] constexpr const char* estimator_name(Estimator e) {
+  switch (e) {
+    case Estimator::kSgd: return "sgd";
+    case Estimator::kSvrg: return "svrg";
+    case Estimator::kSarah: return "sarah";
+    case Estimator::kFullGradient: return "gd";
+  }
+  return "?";
+}
+
+}  // namespace fedvr::opt

@@ -1,0 +1,215 @@
+#include "opt/local_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::opt {
+
+namespace {
+
+// Draws inner-loop mini-batches under either sampling scheme. A batch that
+// covers the dataset degenerates to the deterministic full batch.
+class BatchSampler {
+ public:
+  BatchSampler(Sampling mode, std::size_t n, std::size_t batch_size)
+      : mode_(mode), n_(n), batch_size_(std::min(batch_size, n)) {
+    if (mode_ == Sampling::kShuffledEpochs && batch_size_ < n_) {
+      permutation_.resize(n_);
+      std::iota(permutation_.begin(), permutation_.end(), 0);
+      cursor_ = n_;  // force a shuffle on first use
+    }
+  }
+
+  void next(util::Rng& rng, std::vector<std::size_t>& out) {
+    out.resize(batch_size_);
+    if (batch_size_ == n_) {
+      std::iota(out.begin(), out.end(), 0);
+      return;
+    }
+    if (mode_ == Sampling::kWithReplacement) {
+      for (auto& idx : out) idx = rng.below(n_);
+      return;
+    }
+    for (auto& idx : out) {
+      if (cursor_ >= n_) {
+        rng.shuffle(std::span<std::size_t>(permutation_));
+        cursor_ = 0;
+      }
+      idx = permutation_[cursor_++];
+    }
+  }
+
+ private:
+  Sampling mode_;
+  std::size_t n_;
+  std::size_t batch_size_;
+  std::vector<std::size_t> permutation_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+LocalSolver::LocalSolver(std::shared_ptr<const nn::Model> model,
+                         LocalSolverOptions options)
+    : model_(std::move(model)), options_(options) {
+  FEDVR_CHECK(model_ != nullptr);
+  FEDVR_CHECK_MSG(options_.eta > 0.0, "step size eta must be positive");
+  FEDVR_CHECK_MSG(options_.mu >= 0.0, "penalty mu must be nonnegative");
+  FEDVR_CHECK(options_.batch_size >= 1);
+  FEDVR_CHECK_MSG(options_.schedule_decay >= 0.0,
+                  "schedule decay must be nonnegative");
+  FEDVR_CHECK_MSG(options_.adaptive_theta >= 0.0 &&
+                      options_.adaptive_theta < 1.0,
+                  "adaptive_theta must be in [0, 1)");
+  FEDVR_CHECK(options_.theta_check_every >= 1);
+}
+
+LocalSolverResult LocalSolver::solve(const data::Dataset& train,
+                                     std::span<const double> anchor,
+                                     util::Rng& rng) const {
+  const std::size_t dim = model_->num_parameters();
+  FEDVR_CHECK_MSG(anchor.size() == dim,
+                  "anchor has " << anchor.size() << " parameters, model needs "
+                                << dim);
+  FEDVR_CHECK_MSG(!train.empty(), "device has no training data");
+  const std::size_t n = train.size();
+  const auto full_idx = nn::all_indices(n);
+
+  LocalSolverResult result;
+
+  // Step size at inner iteration t (t = 0 is the first prox step).
+  auto eta_at = [this](std::size_t t) {
+    return options_.schedule == StepSchedule::kConstant
+               ? options_.eta
+               : options_.eta /
+                     (1.0 + options_.schedule_decay * static_cast<double>(t));
+  };
+
+  // Uniform-random iterate selection: decide t' up front and snapshot when
+  // the loop passes it — avoids storing all tau+1 iterates.
+  const std::size_t selected_t =
+      options_.selection == IterateSelection::kUniformRandom
+          ? static_cast<std::size_t>(rng.below(options_.tau + 1))
+          : options_.tau + 1;  // sentinel: never snapshot, keep last
+
+  // Line 3-4: w^(0) = anchor, v^(0) = full local gradient at the anchor.
+  std::vector<double> w_prev(anchor.begin(), anchor.end());
+  std::vector<double> v(dim);
+  result.anchor_loss = model_->loss_and_gradient(w_prev, train, full_idx, v);
+  result.sample_gradient_evals += n;
+  result.anchor_grad_norm = tensor::nrm2(v);
+
+  std::vector<double> snapshot;
+  if (selected_t == 0) snapshot = w_prev;
+
+  // First prox step: w^(1) = prox(w^(0) - eta_0 v^(0)).
+  std::vector<double> w_curr(dim);
+  std::vector<double> step(dim);
+  tensor::copy(w_prev, step);
+  tensor::axpy(-eta_at(0), v, step);
+  tensor::prox_quadratic(step, anchor, eta_at(0), options_.mu, w_curr);
+
+  // Scratch for the estimator updates.
+  std::vector<double> grad_curr(dim);
+  std::vector<double> grad_ref(dim);
+  std::vector<double> v0;        // SVRG keeps the anchor direction
+  std::vector<double> anchor_w;  // SVRG gradient reference point w^(0)
+  if (options_.estimator == Estimator::kSvrg) {
+    v0 = v;
+    anchor_w = w_prev;
+  }
+  BatchSampler sampler(options_.sampling, n, options_.batch_size);
+  std::vector<std::size_t> batch;
+
+  // The eq. 11 stopping criterion, measured with a full local gradient:
+  // ||grad J_n(w)|| <= theta ||grad F_n(anchor)||.
+  auto theta_criterion_met = [&](std::span<const double> w) {
+    std::vector<double> grad_j(dim);
+    (void)model_->loss_and_gradient(w, train, full_idx, grad_j);
+    result.sample_gradient_evals += n;
+    for (std::size_t i = 0; i < dim; ++i) {
+      grad_j[i] += options_.mu * (w[i] - anchor[i]);
+    }
+    return tensor::nrm2(grad_j) <=
+           options_.adaptive_theta * result.anchor_grad_norm;
+  };
+
+  // Lines 5-9: tau inner iterations. Iteration t consumes w^(t) (w_curr)
+  // and w^(t-1) (w_prev) and produces w^(t+1).
+  for (std::size_t t = 1; t <= options_.tau; ++t) {
+    if (t == selected_t) snapshot = w_curr;
+    result.iterations_run = t;
+    if (options_.adaptive_theta > 0.0 &&
+        t % options_.theta_check_every == 0 && theta_criterion_met(w_curr)) {
+      result.iterations_run = t - 1;  // w_curr already satisfies eq. 11
+      break;
+    }
+    switch (options_.estimator) {
+      case Estimator::kSgd: {
+        sampler.next(rng, batch);
+        (void)model_->loss_and_gradient(w_curr, train, batch, v);
+        result.sample_gradient_evals += batch.size();
+        break;
+      }
+      case Estimator::kSvrg: {
+        // v_t = grad f_i(w_t) - grad f_i(w_0) + v_0   (eq. 8b)
+        sampler.next(rng, batch);
+        (void)model_->loss_and_gradient(w_curr, train, batch, grad_curr);
+        (void)model_->loss_and_gradient(anchor_w, train, batch, grad_ref);
+        result.sample_gradient_evals += 2 * batch.size();
+        tensor::copy(grad_curr, v);
+        tensor::axpy(-1.0, grad_ref, v);
+        tensor::axpy(1.0, v0, v);
+        break;
+      }
+      case Estimator::kSarah: {
+        // v_t = grad f_i(w_t) - grad f_i(w_{t-1}) + v_{t-1}   (eq. 8a)
+        sampler.next(rng, batch);
+        (void)model_->loss_and_gradient(w_curr, train, batch, grad_curr);
+        (void)model_->loss_and_gradient(w_prev, train, batch, grad_ref);
+        result.sample_gradient_evals += 2 * batch.size();
+        // v (currently v_{t-1}) += grad_curr - grad_ref.
+        tensor::axpy(1.0, grad_curr, v);
+        tensor::axpy(-1.0, grad_ref, v);
+        break;
+      }
+      case Estimator::kFullGradient: {
+        (void)model_->loss_and_gradient(w_curr, train, full_idx, v);
+        result.sample_gradient_evals += n;
+        break;
+      }
+    }
+    if (options_.observer) options_.observer(t, v, w_curr);
+    // Line 8: w^(t+1) = prox_{eta h_s}(w^(t) - eta v^(t)).
+    const double eta_t = eta_at(t);
+    tensor::copy(w_curr, step);
+    tensor::axpy(-eta_t, v, step);
+    w_prev.swap(w_curr);  // w_prev now holds w^(t)
+    tensor::prox_quadratic(step, anchor, eta_t, options_.mu, w_curr);
+  }
+
+  result.w = (options_.selection == IterateSelection::kUniformRandom &&
+              selected_t <= options_.tau)
+                 ? std::move(snapshot)
+                 : std::move(w_curr);
+
+  if (options_.compute_diagnostics) {
+    // grad J_n(w) = grad F_n(w) + mu (w - anchor)  (paper eq. 68).
+    std::vector<double> grad_j(dim);
+    (void)model_->loss_and_gradient(result.w, train, full_idx, grad_j);
+    for (std::size_t i = 0; i < dim; ++i) {
+      grad_j[i] += options_.mu * (result.w[i] - anchor[i]);
+    }
+    result.surrogate_grad_norm = tensor::nrm2(grad_j);
+    result.measured_theta =
+        result.anchor_grad_norm > 0.0
+            ? result.surrogate_grad_norm / result.anchor_grad_norm
+            : 0.0;
+  }
+  return result;
+}
+
+}  // namespace fedvr::opt

@@ -1,0 +1,88 @@
+#include "tensor/im2col.h"
+
+#include "util/error.h"
+
+namespace fedvr::tensor {
+
+namespace {
+void check_geometry(const ConvGeometry& g, std::size_t image_size,
+                    std::size_t cols_size) {
+  FEDVR_CHECK_MSG(g.height + 2 * g.pad >= g.kernel_h &&
+                      g.width + 2 * g.pad >= g.kernel_w,
+                  "kernel larger than padded image");
+  FEDVR_CHECK(g.stride >= 1);
+  FEDVR_CHECK_MSG(image_size == g.image_size(),
+                  "image buffer has " << image_size << " elements, expected "
+                                      << g.image_size());
+  FEDVR_CHECK_MSG(cols_size == g.col_rows() * g.out_pixels(),
+                  "cols buffer has " << cols_size << " elements, expected "
+                                     << g.col_rows() * g.out_pixels());
+}
+}  // namespace
+
+void im2col(const ConvGeometry& g, std::span<const double> image,
+            std::span<double> cols) {
+  check_geometry(g, image.size(), cols.size());
+  const std::size_t out_h = g.out_h();
+  const std::size_t out_w = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    const double* plane = image.data() + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        double* out_row = cols.data() + row * out_h * out_w;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          // Input coordinates may be in the padding; signed arithmetic keeps
+          // the borrow explicit.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            double v = 0.0;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.height) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.width)) {
+              v = plane[static_cast<std::size_t>(iy) * g.width +
+                        static_cast<std::size_t>(ix)];
+            }
+            out_row[oy * out_w + ox] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, std::span<const double> cols,
+            std::span<double> image) {
+  check_geometry(g, image.size(), cols.size());
+  const std::size_t out_h = g.out_h();
+  const std::size_t out_w = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    double* plane = image.data() + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const double* in_row = cols.data() + row * out_h * out_w;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.height)) continue;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.width)) continue;
+            plane[static_cast<std::size_t>(iy) * g.width +
+                  static_cast<std::size_t>(ix)] += in_row[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedvr::tensor

@@ -1,0 +1,49 @@
+// im2col / col2im: lowers 2-D convolution to GEMM, the standard approach
+// for CPU conv kernels.
+//
+// Image layout is CHW per sample (channels, height, width). The column
+// matrix has one row per kernel element (c * kh * kw) and one column per
+// output pixel (out_h * out_w), so that
+//    conv_out (out_channels x out_pixels) =
+//        W (out_channels x c*kh*kw) * cols (c*kh*kw x out_pixels).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fedvr::tensor {
+
+struct ConvGeometry {
+  std::size_t channels = 1;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t kernel_h = 1;
+  std::size_t kernel_w = 1;
+  std::size_t pad = 0;     // symmetric zero padding
+  std::size_t stride = 1;  // same in both dims
+
+  [[nodiscard]] std::size_t out_h() const {
+    return (height + 2 * pad - kernel_h) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    return (width + 2 * pad - kernel_w) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_pixels() const { return out_h() * out_w(); }
+  [[nodiscard]] std::size_t col_rows() const {
+    return channels * kernel_h * kernel_w;
+  }
+  [[nodiscard]] std::size_t image_size() const {
+    return channels * height * width;
+  }
+};
+
+/// image (CHW, geometry g) -> cols (col_rows x out_pixels), zero-padded.
+void im2col(const ConvGeometry& g, std::span<const double> image,
+            std::span<double> cols);
+
+/// Adjoint of im2col: scatters cols back into (and accumulates onto) the
+/// image buffer. Caller zeroes `image` first when a pure adjoint is wanted.
+void col2im(const ConvGeometry& g, std::span<const double> cols,
+            std::span<double> image);
+
+}  // namespace fedvr::tensor

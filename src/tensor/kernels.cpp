@@ -1,0 +1,209 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedvr::tensor {
+
+namespace {
+
+// C (m x n, row stride ldc) += alpha * A (m x k, packed) * B (k x n, packed),
+// where A and B have already been materialized in non-transposed packed
+// layout. ikj loop order keeps B and C accesses unit-stride.
+void gemm_core(std::size_t m, std::size_t n, std::size_t k, double alpha,
+               const double* a, const double* b, std::span<double> c,
+               std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    double* c_row = c.data() + i * ldc;
+    const double* a_row = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double a_ip = alpha * a_row[p];
+      if (a_ip == 0.0) continue;
+      const double* b_row = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+// Packs op(M) into `out` as a (rows x cols) row-major matrix.
+void pack(Trans trans, std::size_t rows, std::size_t cols,
+          std::span<const double> src, std::size_t ld,
+          std::vector<double>& out) {
+  out.resize(rows * cols);
+  if (trans == Trans::kNo) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* s = src.data() + i * ld;
+      std::copy(s, s + cols, out.data() + i * cols);
+    }
+  } else {
+    // Stored matrix is (cols x rows) with row stride ld; emit its transpose.
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        out[i * cols + j] = src[j * ld + i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, double alpha, std::span<const double> a,
+          std::size_t lda, std::span<const double> b, std::size_t ldb,
+          double beta, std::span<double> c, std::size_t ldc) {
+  FEDVR_CHECK_MSG(ldc >= n, "gemm: ldc " << ldc << " < n " << n);
+  const std::size_t a_rows = (trans_a == Trans::kNo) ? m : k;
+  const std::size_t a_cols = (trans_a == Trans::kNo) ? k : m;
+  const std::size_t b_rows = (trans_b == Trans::kNo) ? k : n;
+  const std::size_t b_cols = (trans_b == Trans::kNo) ? n : k;
+  FEDVR_CHECK_MSG(lda >= a_cols, "gemm: lda too small");
+  FEDVR_CHECK_MSG(ldb >= b_cols, "gemm: ldb too small");
+  FEDVR_CHECK_MSG(a.size() >= (a_rows == 0 ? 0 : (a_rows - 1) * lda + a_cols),
+                  "gemm: A storage too small");
+  FEDVR_CHECK_MSG(b.size() >= (b_rows == 0 ? 0 : (b_rows - 1) * ldb + b_cols),
+                  "gemm: B storage too small");
+  FEDVR_CHECK_MSG(c.size() >= (m == 0 ? 0 : (m - 1) * ldc + n),
+                  "gemm: C storage too small");
+
+  // Scale C by beta first (handles beta == 0 without reading C garbage:
+  // storage is always initialized doubles in this codebase).
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = c.data() + i * ldc;
+    if (beta == 0.0) {
+      std::fill(row, row + n, 0.0);
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  // Pack operands into non-transposed layout. Simpler than four loop
+  // variants, and the packing cost is linear while gemm is cubic.
+  thread_local std::vector<double> a_pack;
+  thread_local std::vector<double> b_pack;
+  const double* a_ptr;
+  const double* b_ptr;
+  if (trans_a == Trans::kNo && lda == k) {
+    a_ptr = a.data();
+  } else {
+    pack(trans_a, m, k, a, lda, a_pack);
+    a_ptr = a_pack.data();
+  }
+  if (trans_b == Trans::kNo && ldb == n) {
+    b_ptr = b.data();
+  } else {
+    pack(trans_b, k, n, b, ldb, b_pack);
+    b_ptr = b_pack.data();
+  }
+  gemm_core(m, n, k, alpha, a_ptr, b_ptr, c, ldc);
+}
+
+void gemm_packed(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, double alpha, std::span<const double> a,
+                 std::span<const double> b, double beta, std::span<double> c) {
+  const std::size_t lda = (trans_a == Trans::kNo) ? k : m;
+  const std::size_t ldb = (trans_b == Trans::kNo) ? n : k;
+  gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
+          std::span<const double> a, std::span<const double> x, double beta,
+          std::span<double> y) {
+  FEDVR_CHECK_MSG(a.size() >= rows * cols, "gemv: A storage too small");
+  const std::size_t x_len = (trans == Trans::kNo) ? cols : rows;
+  const std::size_t y_len = (trans == Trans::kNo) ? rows : cols;
+  FEDVR_CHECK_MSG(x.size() == x_len, "gemv: x has wrong length");
+  FEDVR_CHECK_MSG(y.size() == y_len, "gemv: y has wrong length");
+  if (beta == 0.0) {
+    std::fill(y.begin(), y.end(), 0.0);
+  } else if (beta != 1.0) {
+    for (double& v : y) v *= beta;
+  }
+  if (alpha == 0.0) return;
+  if (trans == Trans::kNo) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* row = a.data() + i * cols;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) acc += row[j] * x[j];
+      y[i] += alpha * acc;
+    }
+  } else {
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* row = a.data() + i * cols;
+      const double xi = alpha * x[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = 0; j < cols; ++j) y[j] += xi * row[j];
+    }
+  }
+}
+
+void relu(std::span<const double> x, std::span<double> out) {
+  FEDVR_CHECK(x.size() == out.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] > 0.0 ? x[i] : 0.0;
+}
+
+void relu_backward(std::span<const double> x, std::span<const double> dy,
+                   std::span<double> dx) {
+  FEDVR_CHECK(x.size() == dy.size() && x.size() == dx.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0 ? dy[i] : 0.0;
+}
+
+void softmax_rows(std::size_t rows, std::size_t cols,
+                  std::span<const double> logits, std::span<double> probs) {
+  FEDVR_CHECK(logits.size() == rows * cols && probs.size() == rows * cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* in = logits.data() + i * cols;
+    double* out = probs.data() + i * cols;
+    double max_v = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < cols; ++j) max_v = std::max(max_v, in[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      out[j] = std::exp(in[j] - max_v);
+      sum += out[j];
+    }
+    const double inv = 1.0 / sum;
+    for (std::size_t j = 0; j < cols; ++j) out[j] *= inv;
+  }
+}
+
+void argmax_rows(std::size_t rows, std::size_t cols,
+                 std::span<const double> x, std::span<std::size_t> out) {
+  FEDVR_CHECK(x.size() == rows * cols && out.size() == rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = x.data() + i * cols;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < cols; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = best;
+  }
+}
+
+void add_bias_rows(std::size_t rows, std::size_t cols, std::span<double> x,
+                   std::span<const double> bias) {
+  FEDVR_CHECK(x.size() == rows * cols && bias.size() == cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* row = x.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) row[j] += bias[j];
+  }
+}
+
+void sum_rows(std::size_t rows, std::size_t cols, std::span<const double> dy,
+              std::span<double> bias_grad) {
+  FEDVR_CHECK(dy.size() == rows * cols && bias_grad.size() == cols);
+  std::fill(bias_grad.begin(), bias_grad.end(), 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = dy.data() + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) bias_grad[j] += row[j];
+  }
+}
+
+}  // namespace fedvr::tensor

@@ -1,0 +1,59 @@
+// Matrix kernels: GEMM/GEMV and the elementwise / reduction operations the
+// nn layers are written in terms of.
+//
+// Matrices are dense row-major spans with explicit dimensions; the Tensor
+// class provides storage and the layers slice views out of it. GEMM is a
+// register-blocked triple loop in ikj order (streaming-friendly) — no
+// external BLAS per the reproduction rules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fedvr::tensor {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// A is (m x k) after op, B is (k x n) after op, C is (m x n).
+/// Dimensions passed are the *post-op* m, n, k; lda/ldb are the true row
+/// strides of the stored matrices.
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, double alpha, std::span<const double> a,
+          std::size_t lda, std::span<const double> b, std::size_t ldb,
+          double beta, std::span<double> c, std::size_t ldc);
+
+/// Convenience GEMM for packed (stride == #cols) matrices.
+void gemm_packed(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                 std::size_t k, double alpha, std::span<const double> a,
+                 std::span<const double> b, double beta, std::span<double> c);
+
+/// y = alpha * op(A) * x + beta * y, with A stored (rows x cols) row-major.
+void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
+          std::span<const double> a, std::span<const double> x, double beta,
+          std::span<double> y);
+
+/// out[i] = max(x[i], 0)
+void relu(std::span<const double> x, std::span<double> out);
+
+/// dx[i] = x[i] > 0 ? dy[i] : 0   (backward of relu given forward input x)
+void relu_backward(std::span<const double> x, std::span<const double> dy,
+                   std::span<double> dx);
+
+/// Row-wise softmax of a (rows x cols) matrix, numerically stabilized.
+void softmax_rows(std::size_t rows, std::size_t cols,
+                  std::span<const double> logits, std::span<double> probs);
+
+/// Row-wise argmax of a (rows x cols) matrix.
+void argmax_rows(std::size_t rows, std::size_t cols,
+                 std::span<const double> x, std::span<std::size_t> out);
+
+/// Adds the bias vector (length cols) to each row of the matrix in place.
+void add_bias_rows(std::size_t rows, std::size_t cols, std::span<double> x,
+                   std::span<const double> bias);
+
+/// bias_grad[j] = sum over rows of dy(row, j).
+void sum_rows(std::size_t rows, std::size_t cols, std::span<const double> dy,
+              std::span<double> bias_grad);
+
+}  // namespace fedvr::tensor

@@ -1,0 +1,70 @@
+// Shape of a dense row-major tensor (up to 4 axes: N, C, H, W).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "util/error.h"
+
+namespace fedvr::tensor {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::size_t> dims) {
+    FEDVR_CHECK_MSG(dims.size() <= kMaxRank,
+                    "tensor rank " << dims.size() << " exceeds " << kMaxRank);
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (std::size_t d : dims) dims_[i++] = d;
+  }
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+
+  [[nodiscard]] std::size_t operator[](std::size_t axis) const {
+    FEDVR_CHECK_MSG(axis < rank_,
+                    "axis " << axis << " out of range for rank " << rank_);
+    return dims_[axis];
+  }
+
+  /// Total number of elements (1 for a rank-0 scalar shape).
+  [[nodiscard]] std::size_t numel() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  [[nodiscard]] bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Shape& s) {
+    return os << s.str();
+  }
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace fedvr::tensor

@@ -1,0 +1,19 @@
+#include "tensor/tensor.h"
+
+namespace fedvr::tensor {
+
+double Tensor::at(std::span<const std::size_t> idx) const {
+  FEDVR_CHECK_MSG(idx.size() == shape_.rank(),
+                  "index rank " << idx.size() << " != tensor rank "
+                                << shape_.rank());
+  std::size_t flat = 0;
+  for (std::size_t axis = 0; axis < idx.size(); ++axis) {
+    FEDVR_CHECK_MSG(idx[axis] < shape_[axis],
+                    "index " << idx[axis] << " out of bounds for axis "
+                             << axis << " of " << shape_.str());
+    flat = flat * shape_[axis] + idx[axis];
+  }
+  return data_[flat];
+}
+
+}  // namespace fedvr::tensor

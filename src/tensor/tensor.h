@@ -1,0 +1,96 @@
+// Dense row-major tensor of doubles.
+//
+// Design notes:
+//  * Owning, contiguous storage; views are exposed as std::span so kernels
+//    never copy.
+//  * double throughout: the reproduction favours exact gradient checks and
+//    faithful optimizer dynamics over raw throughput; problem sizes in the
+//    paper's experiments are small enough for this on one core.
+//  * No expression templates — kernels live in kernels.h and are explicit,
+//    per the Core Guidelines ("express intent directly").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/error.h"
+
+namespace fedvr::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape, double fill = 0.0)
+      : shape_(shape), data_(shape.numel(), fill) {}
+
+  Tensor(Shape shape, std::vector<double> data)
+      : shape_(shape), data_(std::move(data)) {
+    FEDVR_CHECK_MSG(data_.size() == shape_.numel(),
+                    "data size " << data_.size() << " != shape numel "
+                                 << shape_.numel());
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const {
+    return shape_[axis];
+  }
+
+  [[nodiscard]] std::span<double> view() { return data_; }
+  [[nodiscard]] std::span<const double> view() const { return data_; }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  // Element accessors for each supported rank. Bounds are checked only in
+  // the rank dimension count; per-index checks would dominate kernel cost,
+  // so indices are validated in debug-style helper at().
+  [[nodiscard]] double& operator()(std::size_t i) { return data_[i]; }
+  [[nodiscard]] double operator()(std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * shape_[1] + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j,
+                                   std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j,
+                                  std::size_t k) const {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j,
+                                   std::size_t k, std::size_t l) {
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j, std::size_t k,
+                                  std::size_t l) const {
+    return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+  }
+
+  /// Fully bounds-checked element access (rank-agnostic, slow; for tests).
+  [[nodiscard]] double at(std::span<const std::size_t> idx) const;
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Returns a tensor sharing no storage but viewing the same data under a
+  /// new shape with equal numel (a copy; explicitness over cleverness).
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const {
+    FEDVR_CHECK_MSG(new_shape.numel() == numel(),
+                    "reshape " << shape_.str() << " -> " << new_shape.str()
+                               << " changes numel");
+    return Tensor(new_shape, data_);
+  }
+
+ private:
+  Shape shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace fedvr::tensor

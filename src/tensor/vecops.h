@@ -1,0 +1,63 @@
+// Flat-vector math: the currency of the federated algorithms.
+//
+// Model parameters, gradients, and variance-reduction directions all travel
+// as flat std::vector<double>/std::span<double>. These kernels are the inner
+// loop of every solver, so they are written as tight scalar loops the
+// compiler can vectorize, with spans per the Core Guidelines (no raw
+// pointer+length pairs in interfaces).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedvr::tensor {
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// y = alpha * x + beta * y
+void axpby(double alpha, std::span<const double> x, double beta,
+           std::span<double> y);
+
+/// x *= alpha
+void scal(double alpha, std::span<double> x);
+
+/// <x, y>
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// ||x||_2^2 (avoids the sqrt+square round trip in convergence checks)
+[[nodiscard]] double nrm2_squared(std::span<const double> x);
+
+/// ||x - y||_2^2
+[[nodiscard]] double squared_distance(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// dst = src (sizes must match)
+void copy(std::span<const double> src, std::span<double> dst);
+
+/// out = x - y
+void sub(std::span<const double> x, std::span<const double> y,
+         std::span<double> out);
+
+/// out = x + y
+void add(std::span<const double> x, std::span<const double> y,
+         std::span<double> out);
+
+/// Sets every element to v.
+void fill(std::span<double> x, double v);
+
+/// acc += w * x  with acc zero-initialized by the caller: the weighted
+/// aggregation on Algorithm 1 line 12.
+void accumulate_weighted(double w, std::span<const double> x,
+                         std::span<double> acc);
+
+/// The closed-form proximal operator of h_s(w) = (mu/2)||w - anchor||^2 with
+/// step eta (paper eq. (10)):  prox(x) = (eta / (1 + eta*mu)) * (mu*anchor + x/eta).
+void prox_quadratic(std::span<const double> x, std::span<const double> anchor,
+                    double eta, double mu, std::span<double> out);
+
+}  // namespace fedvr::tensor

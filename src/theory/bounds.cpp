@@ -1,0 +1,129 @@
+#include "theory/bounds.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedvr::theory {
+
+double mu_tilde(double mu, double lambda) { return mu - lambda; }
+
+double tau_lower_bound(double beta, double mu, double theta,
+                       const ProblemConstants& pc) {
+  FEDVR_CHECK_MSG(beta > 3.0, "tau_lower_bound requires beta > 3, got "
+                                  << beta);
+  const double mt = mu_tilde(mu, pc.lambda);
+  FEDVR_CHECK_MSG(mt > 0.0,
+                  "requires mu_tilde = mu - lambda > 0 (mu=" << mu
+                      << ", lambda=" << pc.lambda << ")");
+  FEDVR_CHECK_MSG(theta > 0.0 && theta <= 1.0,
+                  "theta must be in (0, 1], got " << theta);
+  const double numerator =
+      3.0 * (beta * beta * pc.L * pc.L + mu * mu);
+  const double denominator = theta * theta * mt * pc.L * (beta - 3.0);
+  return numerator / denominator;
+}
+
+double tau_upper_sarah(double beta) {
+  return (5.0 * beta * beta - 4.0 * beta) / 8.0;
+}
+
+double svrg_a_min(double tau) {
+  FEDVR_CHECK(tau >= 0.0);
+  // a - 4 = 4 sqrt(a(tau+1)); substituting s = sqrt(a):
+  // s^2 - 4 s sqrt(tau+1) - 4 = 0  =>  s = 2 sqrt(tau+1) + 2 sqrt(tau+2).
+  const double s = 2.0 * (std::sqrt(tau + 1.0) + std::sqrt(tau + 2.0));
+  return s * s;
+}
+
+std::optional<double> tau_upper_svrg(double beta) {
+  // tau <= (5 b^2 - 4 b)/(8 a_min(tau)) - 2. The right side decreases in
+  // tau while the left increases, so scan upward for the largest feasible
+  // integer tau (the crossing is unique).
+  const double budget = 5.0 * beta * beta - 4.0 * beta;
+  if (budget <= 0.0) return std::nullopt;
+  auto feasible = [&](double tau) {
+    return tau <= budget / (8.0 * svrg_a_min(tau)) - 2.0;
+  };
+  if (!feasible(0.0)) return std::nullopt;
+  // Exponential then binary search on integer tau.
+  double lo = 0.0, hi = 1.0;
+  while (feasible(hi)) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e12) return hi;  // effectively unbounded; clamp defensively
+  }
+  while (hi - lo > 1.0) {
+    const double mid = std::floor((lo + hi) / 2.0);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double theta_squared_sarah(double beta, double mu,
+                           const ProblemConstants& pc) {
+  FEDVR_CHECK_MSG(beta > 3.0, "theta_squared_sarah requires beta > 3");
+  const double mt = mu_tilde(mu, pc.lambda);
+  FEDVR_CHECK_MSG(mt > 0.0, "requires mu - lambda > 0");
+  const double numerator = 24.0 * (beta * beta * pc.L * pc.L + mu * mu);
+  const double denominator =
+      mt * pc.L * (5.0 * beta * beta - 4.0 * beta) * (beta - 3.0);
+  return numerator / denominator;
+}
+
+std::optional<double> beta_min_sarah(double theta, double mu,
+                                     const ProblemConstants& pc,
+                                     double beta_max) {
+  FEDVR_CHECK(theta > 0.0 && theta <= 1.0);
+  // Eq. (15): find beta > 3 where lower(beta) == upper(beta). Equivalently
+  // theta_squared_sarah(beta) == theta^2; theta_squared_sarah decreases in
+  // beta (for beta > 3 it behaves like 1/beta), so bisection applies.
+  const double target = theta * theta;
+  auto gap = [&](double beta) {
+    return theta_squared_sarah(beta, mu, pc) - target;
+  };
+  double lo = 3.0 + 1e-9;
+  if (gap(lo) < 0.0) return lo;  // already feasible at beta -> 3+
+  double hi = 4.0;
+  while (gap(hi) > 0.0) {
+    hi *= 2.0;
+    if (hi > beta_max) return std::nullopt;
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (gap(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double federated_factor(double theta, double mu, const ProblemConstants& pc) {
+  FEDVR_CHECK_MSG(mu > 0.0, "federated factor needs mu > 0");
+  const double mt = mu_tilde(mu, pc.lambda);
+  FEDVR_CHECK_MSG(mt > 0.0, "federated factor needs mu - lambda > 0");
+  const double one_plus_sigma = 1.0 + pc.sigma_bar_sq;
+  const double one_plus_theta_sq = 1.0 + theta * theta;
+  const double term1 = theta * std::sqrt(2.0 * one_plus_sigma);
+  const double term2 =
+      (2.0 * pc.L / mt) * std::sqrt(one_plus_theta_sq * one_plus_sigma);
+  const double term3 =
+      (2.0 * pc.L * mu / (mt * mt)) * one_plus_theta_sq * one_plus_sigma;
+  return (1.0 - term1 - term2 - term3) / mu;
+}
+
+double global_rounds_needed(double initial_gap, double Theta,
+                            double epsilon) {
+  FEDVR_CHECK_MSG(Theta > 0.0,
+                  "convergence requires Theta > 0, got " << Theta);
+  FEDVR_CHECK(epsilon > 0.0 && initial_gap >= 0.0);
+  return initial_gap / (Theta * epsilon);
+}
+
+}  // namespace fedvr::theory

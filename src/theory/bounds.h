@@ -1,0 +1,72 @@
+// The paper's convergence theory as executable formulas.
+//
+// Lemma 1 (local convergence): device n reaches the theta-accurate solution
+// of the surrogate problem (eq. 11) if beta (step-size parameter, eta =
+// 1/(beta L)) and tau (local iterations) satisfy
+//   SARAH:  tau_lower(beta) <= tau <= (5 beta^2 - 4 beta)/8          (13)
+//   SVRG:   tau_lower(beta) <= tau <= (5 beta^2 - 4 beta)/(8a) - 2   (14)
+//           with a > 0 such that a - 4 >= 4 sqrt(a (tau+1))
+// where tau_lower = 3(beta^2 L^2 + mu^2) / (theta^2 mu_tilde L (beta - 3))
+// and mu_tilde = mu - lambda > 0.
+//
+// Theorem 1 (global convergence): (1/T) sum_s E||grad F̄(w̄^(s))||^2 <=
+// Delta / (Theta T) with the federated factor Theta given below.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace fedvr::theory {
+
+/// Problem constants shared by the formulas: L-smoothness, the bounded
+/// non-convexity parameter lambda (F_n is (-lambda)-strongly convex), and
+/// the data-heterogeneity sigma-bar squared.
+struct ProblemConstants {
+  double L = 1.0;
+  double lambda = 0.5;
+  double sigma_bar_sq = 0.2;
+};
+
+/// mu_tilde = mu - lambda; the surrogate J_n is mu_tilde-strongly convex.
+[[nodiscard]] double mu_tilde(double mu, double lambda);
+
+/// Lower bound on tau (both variants share it; eq. 13/14 left side).
+/// Requires beta > 3, mu_tilde > 0, theta in (0, 1].
+[[nodiscard]] double tau_lower_bound(double beta, double mu, double theta,
+                                     const ProblemConstants& pc);
+
+/// SARAH upper bound (eq. 13 right side): (5 beta^2 - 4 beta) / 8.
+[[nodiscard]] double tau_upper_sarah(double beta);
+
+/// Smallest valid Young parameter a for SVRG at a given tau: the equality
+/// case of a - 4 = 4 sqrt(a (tau+1)), i.e. a = (2 sqrt(tau+1) + 2
+/// sqrt(tau+2))^2.
+[[nodiscard]] double svrg_a_min(double tau);
+
+/// SVRG upper bound (eq. 14 right side) maximized over valid a: the largest
+/// integer tau with tau <= (5 beta^2 - 4 beta) / (8 a_min(tau)) - 2, or
+/// nullopt when no tau >= 0 is feasible.
+[[nodiscard]] std::optional<double> tau_upper_svrg(double beta);
+
+/// theta^2 implied by running tau at the SARAH upper bound (eq. 22):
+///   theta^2 = 24 (beta^2 L^2 + mu^2) / (mu_tilde L (5 beta^2 - 4 beta)(beta - 3)).
+/// Requires beta > 3 and mu_tilde > 0.
+[[nodiscard]] double theta_squared_sarah(double beta, double mu,
+                                         const ProblemConstants& pc);
+
+/// Smallest beta > 3 satisfying eq. (15) (SARAH lower == upper bound) for a
+/// target theta; nullopt if no beta <= beta_max works.
+[[nodiscard]] std::optional<double> beta_min_sarah(
+    double theta, double mu, const ProblemConstants& pc,
+    double beta_max = 1e6);
+
+/// The federated factor Theta of Theorem 1. Returns the signed value; the
+/// algorithm requires it to be positive.
+[[nodiscard]] double federated_factor(double theta, double mu,
+                                      const ProblemConstants& pc);
+
+/// Corollary 1 (eq. 18): global iterations to an epsilon-accurate solution.
+[[nodiscard]] double global_rounds_needed(double initial_gap, double Theta,
+                                          double epsilon);
+
+}  // namespace fedvr::theory

@@ -1,0 +1,59 @@
+#include "theory/heterogeneity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::theory {
+
+HeterogeneityEstimate estimate_heterogeneity(
+    const nn::Model& model, const data::FederatedDataset& fed,
+    util::Rng& rng, const HeterogeneityOptions& opt) {
+  FEDVR_CHECK(fed.num_devices() > 0);
+  const std::size_t dim = model.num_parameters();
+  const std::size_t devices = fed.num_devices();
+
+  HeterogeneityEstimate est;
+  est.sigma_n.assign(devices, 0.0);
+
+  std::vector<double> w(dim);
+  model.initialize(rng, w);
+  std::vector<double> probe = w;
+  std::vector<double> global_grad(dim);
+  std::vector<double> local_grad(dim);
+  std::vector<std::vector<double>> device_grads(devices,
+                                                std::vector<double>(dim));
+
+  for (std::size_t p = 0; p <= opt.probes; ++p) {
+    if (p > 0) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        probe[i] = w[i] + rng.normal(0.0, opt.probe_scale);
+      }
+    } else {
+      probe = w;
+    }
+    // grad F̄ = sum_n (D_n/D) grad F_n, reusing the per-device gradients.
+    tensor::fill(global_grad, 0.0);
+    for (std::size_t n = 0; n < devices; ++n) {
+      (void)model.full_gradient(probe, fed.train[n], device_grads[n]);
+      tensor::axpy(fed.weight(n), device_grads[n], global_grad);
+    }
+    const double global_norm = tensor::nrm2(global_grad);
+    if (global_norm < opt.min_global_norm) continue;
+    for (std::size_t n = 0; n < devices; ++n) {
+      tensor::sub(device_grads[n], global_grad, local_grad);
+      const double ratio = tensor::nrm2(local_grad) / global_norm;
+      est.sigma_n[n] = std::max(est.sigma_n[n], ratio);
+    }
+  }
+
+  est.sigma_bar_sq = 0.0;
+  for (std::size_t n = 0; n < devices; ++n) {
+    est.sigma_bar_sq += fed.weight(n) * est.sigma_n[n] * est.sigma_n[n];
+  }
+  return est;
+}
+
+}  // namespace fedvr::theory

@@ -1,0 +1,37 @@
+// Empirical estimation of the paper's sigma_n-divergence (Assumption 1,
+// eq. 5):  ||grad F_n(w) - grad F̄(w)|| <= sigma_n ||grad F̄(w)||.
+//
+// For each probe point w we measure the ratio per device and keep the
+// worst case over probes (the assumption must hold for all w; a handful of
+// random probes plus the initialization give a usable lower estimate).
+// The aggregate sigma-bar^2 = sum_n (D_n/D) sigma_n^2 feeds Theorem 1's
+// federated factor and the §4.3 parameter optimizer.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace fedvr::theory {
+
+struct HeterogeneityEstimate {
+  std::vector<double> sigma_n;  // per-device divergence estimates
+  double sigma_bar_sq = 0.0;    // D_n/D-weighted mean of sigma_n^2
+};
+
+struct HeterogeneityOptions {
+  std::size_t probes = 4;        // random probe points beyond the init
+  double probe_scale = 1.0;      // stddev of the random probe offsets
+  double min_global_norm = 1e-9; // skip probes with a vanishing ||grad F̄||
+};
+
+/// Estimates sigma_n for every device and the weighted sigma-bar^2.
+/// Probes are w0 (a fresh initialization from `rng`) plus `probes` random
+/// perturbations of it.
+[[nodiscard]] HeterogeneityEstimate estimate_heterogeneity(
+    const nn::Model& model, const data::FederatedDataset& fed,
+    util::Rng& rng, const HeterogeneityOptions& opt = {});
+
+}  // namespace fedvr::theory

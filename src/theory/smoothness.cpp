@@ -1,0 +1,58 @@
+#include "theory/smoothness.h"
+
+#include <cmath>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::theory {
+
+double estimate_smoothness(const nn::Model& model, const data::Dataset& ds,
+                           std::span<const double> w, util::Rng& rng,
+                           const SmoothnessOptions& opt) {
+  FEDVR_CHECK(!ds.empty());
+  FEDVR_CHECK(w.size() == model.num_parameters());
+  FEDVR_CHECK(opt.power_iterations >= 1 && opt.fd_epsilon > 0.0);
+
+  // Subsample indices once (uniform without replacement) when the dataset
+  // is large; curvature concentrates quickly.
+  std::vector<std::size_t> idx;
+  if (ds.size() > opt.max_samples) {
+    idx = rng.sample_without_replacement(ds.size(), opt.max_samples);
+  } else {
+    idx = nn::all_indices(ds.size());
+  }
+
+  const std::size_t dim = w.size();
+  std::vector<double> v(dim);
+  for (auto& x : v) x = rng.normal();
+  const double v0_norm = tensor::nrm2(v);
+  FEDVR_CHECK(v0_norm > 0.0);
+  tensor::scal(1.0 / v0_norm, v);
+
+  std::vector<double> probe(dim);
+  std::vector<double> grad_plus(dim);
+  std::vector<double> grad_minus(dim);
+  std::vector<double> hv(dim);
+  double eigenvalue = 0.0;
+  for (std::size_t it = 0; it < opt.power_iterations; ++it) {
+    // hv = (grad(w + eps v) - grad(w - eps v)) / (2 eps)
+    tensor::copy(w, probe);
+    tensor::axpy(opt.fd_epsilon, v, probe);
+    (void)model.loss_and_gradient(probe, ds, idx, grad_plus);
+    tensor::copy(w, probe);
+    tensor::axpy(-opt.fd_epsilon, v, probe);
+    (void)model.loss_and_gradient(probe, ds, idx, grad_minus);
+    tensor::sub(grad_plus, grad_minus, hv);
+    tensor::scal(1.0 / (2.0 * opt.fd_epsilon), hv);
+
+    const double norm = tensor::nrm2(hv);
+    if (norm < 1e-15) return 0.0;  // flat direction; curvature ~ 0
+    eigenvalue = tensor::dot(v, hv);  // Rayleigh quotient (||v|| == 1)
+    tensor::copy(hv, v);
+    tensor::scal(1.0 / norm, v);
+  }
+  return std::abs(eigenvalue);
+}
+
+}  // namespace fedvr::theory

@@ -1,0 +1,32 @@
+// Empirical estimation of the smoothness constant L.
+//
+// Fig. 1's caption notes L "can be estimated by sampling [a] real-world
+// dataset". We estimate the largest Hessian eigenvalue of the empirical
+// loss by power iteration on finite-difference Hessian-vector products:
+//   H v ≈ (grad F(w + eps v) - grad F(w - eps v)) / (2 eps).
+// Works for any Model (convex or not); for the non-convex CNN it returns a
+// local curvature estimate at w, which is what step-size selection needs.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace fedvr::theory {
+
+struct SmoothnessOptions {
+  std::size_t power_iterations = 25;
+  double fd_epsilon = 1e-4;
+  std::size_t max_samples = 512;  // subsample large datasets for speed
+};
+
+/// Estimates L = lambda_max(Hessian of the mean loss) at parameters `w`.
+[[nodiscard]] double estimate_smoothness(const nn::Model& model,
+                                         const data::Dataset& ds,
+                                         std::span<const double> w,
+                                         util::Rng& rng,
+                                         const SmoothnessOptions& opt = {});
+
+}  // namespace fedvr::theory

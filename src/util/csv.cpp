@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/error.h"
+
+namespace fedvr::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path, std::ios::trunc), columns_(header.size()) {
+  FEDVR_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+  FEDVR_CHECK(!header.empty());
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  FEDVR_CHECK_MSG(cells.size() == columns_,
+                  "CSV row has " << cells.size() << " cells, header has "
+                                 << columns_ << " (" << path_ << ")");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  FEDVR_CHECK_MSG(out_.good(), "write failure on CSV file " << path_);
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(long long v) {
+  cells_.emplace_back(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::commit() {
+  writer_.row(cells_);
+  cells_.clear();
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted.push_back('"');
+  for (char c : cell) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::string ensure_results_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  FEDVR_CHECK_MSG(!ec, "cannot create results directory " << dir << ": "
+                                                          << ec.message());
+  return dir;
+}
+
+}  // namespace fedvr::util

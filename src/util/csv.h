@@ -1,0 +1,66 @@
+// CSV trace writer for experiment outputs.
+//
+// Every bench binary writes one CSV per figure/table under results/ so the
+// curves can be plotted externally. Values are written with full precision;
+// strings containing separators or quotes are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedvr::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates) and emits the header row.
+  /// Parent directories must exist; create_directories() helpers live in
+  /// the caller. Throws util::Error on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles/ints/strings in one call.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& w) : writer_(w) {}
+    RowBuilder& add(std::string_view s) {
+      cells_.emplace_back(s);
+      return *this;
+    }
+    RowBuilder& add(double v);
+    RowBuilder& add(long long v);
+    RowBuilder& add(std::size_t v) {
+      return add(static_cast<long long>(v));
+    }
+    RowBuilder& add(int v) { return add(static_cast<long long>(v)); }
+    /// Writes the accumulated row.
+    void commit();
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder builder() { return RowBuilder(*this); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t columns() const { return columns_; }
+
+ private:
+  static std::string escape(std::string_view cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Ensures the directory for experiment outputs exists and returns it.
+[[nodiscard]] std::string ensure_results_dir(
+    const std::string& dir = "results");
+
+}  // namespace fedvr::util

@@ -1,0 +1,69 @@
+// Error-handling primitives used across the fedvr libraries.
+//
+// Invariant violations are programming errors: they throw fedvr::util::Error
+// with a formatted message carrying the failing expression and location.
+// Recoverable conditions (file not found, malformed input) also use Error but
+// are raised with explicit, user-actionable messages.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fedvr::util {
+
+/// Exception type thrown by all fedvr libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(std::string_view expr,
+                                             std::string_view file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw Error(os.str());
+}
+
+// Accumulates streamed context for FEDVR_CHECK_MSG.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace fedvr::util
+
+/// Always-on invariant check: FEDVR_CHECK(n > 0);
+#define FEDVR_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::fedvr::util::detail::raise_check_failure(#expr, __FILE__, __LINE__,   \
+                                                 "");                         \
+    }                                                                         \
+  } while (0)
+
+/// Invariant check with streamed context:
+///   FEDVR_CHECK_MSG(n > 0, "need positive device count, got " << n);
+#define FEDVR_CHECK_MSG(expr, streamed)                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::fedvr::util::detail::MessageBuilder fedvr_mb;                         \
+      fedvr_mb << streamed;                                                   \
+      ::fedvr::util::detail::raise_check_failure(#expr, __FILE__, __LINE__,   \
+                                                 fedvr_mb.str());             \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,148 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace fedvr::util {
+
+namespace {
+
+template <typename T>
+T parse_number(const std::string& name, const std::string& value) {
+  T out{};
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  std::from_chars_result r{};
+  if constexpr (std::is_floating_point_v<T>) {
+    // from_chars for double is available in libstdc++ 11+.
+    r = std::from_chars(first, last, out);
+  } else {
+    r = std::from_chars(first, last, out, 10);
+  }
+  FEDVR_CHECK_MSG(r.ec == std::errc{} && r.ptr == last,
+                  "flag --" << name << " expects a number, got '" << value
+                            << "'");
+  return out;
+}
+
+bool parse_bool(const std::string& name, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value.empty()) {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") return false;
+  FEDVR_CHECK_MSG(false, "flag --" << name << " expects a boolean, got '"
+                                   << value << "'");
+  return false;  // unreachable
+}
+
+template <typename T>
+std::string repr(const T& v) {
+  std::ostringstream os;
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (v ? "true" : "false");
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void Flags::register_entry(std::string_view name, Entry entry) {
+  auto [it, inserted] = entries_.emplace(std::string(name), std::move(entry));
+  (void)it;
+  FEDVR_CHECK_MSG(inserted, "duplicate flag --" << name);
+}
+
+void Flags::add(std::string_view name, int* target, std::string_view help) {
+  register_entry(name, Entry{std::string(help), repr(*target), false,
+                             [name = std::string(name), target](
+                                 const std::string& v) {
+                               *target = parse_number<int>(name, v);
+                             }});
+}
+
+void Flags::add(std::string_view name, std::int64_t* target,
+                std::string_view help) {
+  register_entry(name, Entry{std::string(help), repr(*target), false,
+                             [name = std::string(name), target](
+                                 const std::string& v) {
+                               *target = parse_number<std::int64_t>(name, v);
+                             }});
+}
+
+void Flags::add(std::string_view name, std::size_t* target,
+                std::string_view help) {
+  register_entry(name, Entry{std::string(help), repr(*target), false,
+                             [name = std::string(name), target](
+                                 const std::string& v) {
+                               *target = parse_number<std::size_t>(name, v);
+                             }});
+}
+
+void Flags::add(std::string_view name, double* target, std::string_view help) {
+  register_entry(name, Entry{std::string(help), repr(*target), false,
+                             [name = std::string(name), target](
+                                 const std::string& v) {
+                               *target = parse_number<double>(name, v);
+                             }});
+}
+
+void Flags::add(std::string_view name, bool* target, std::string_view help) {
+  register_entry(name, Entry{std::string(help), repr(*target), true,
+                             [name = std::string(name), target](
+                                 const std::string& v) {
+                               *target = parse_bool(name, v);
+                             }});
+}
+
+void Flags::add(std::string_view name, std::string* target,
+                std::string_view help) {
+  register_entry(name,
+                 Entry{std::string(help), *target, false,
+                       [target](const std::string& v) { *target = v; }});
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    FEDVR_CHECK_MSG(arg.rfind("--", 0) == 0,
+                    "unexpected positional argument '" << arg << "'");
+    arg.erase(0, 2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      have_value = true;
+    }
+    const auto it = entries_.find(arg);
+    FEDVR_CHECK_MSG(it != entries_.end(), "unknown flag --" << arg);
+    if (!have_value && !it->second.is_bool) {
+      FEDVR_CHECK_MSG(i + 1 < argc, "flag --" << arg << " needs a value");
+      value = argv[++i];
+    }
+    it->second.assign(value);
+  }
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, entry] : entries_) {
+    os << "  --" << name << "  " << entry.help
+       << " (default: " << entry.default_repr << ")\n";
+  }
+  os << "  --help  show this message\n";
+  return os.str();
+}
+
+}  // namespace fedvr::util

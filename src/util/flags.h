@@ -1,0 +1,54 @@
+// Tiny declarative CLI flag parser used by the bench and example binaries.
+//
+//   util::Flags flags("fig2_convex_fmnist", "Reproduces Fig. 2 ...");
+//   int rounds = 200;
+//   flags.add("rounds", &rounds, "number of global rounds T");
+//   flags.parse(argc, argv);   // accepts --rounds=300 and --rounds 300
+//
+// Unknown flags are an error (typos must not silently change experiments);
+// --help prints the registered flags and exits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedvr::util {
+
+class Flags {
+ public:
+  Flags(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  void add(std::string_view name, int* target, std::string_view help);
+  void add(std::string_view name, std::int64_t* target, std::string_view help);
+  void add(std::string_view name, std::size_t* target, std::string_view help);
+  void add(std::string_view name, double* target, std::string_view help);
+  void add(std::string_view name, bool* target, std::string_view help);
+  void add(std::string_view name, std::string* target, std::string_view help);
+
+  /// Parses argv. Throws util::Error on unknown flags or malformed values.
+  /// If --help is present, prints usage and std::exit(0)s.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    std::function<void(const std::string&)> assign;
+  };
+
+  void register_entry(std::string_view name, Entry entry);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace fedvr::util

@@ -1,0 +1,62 @@
+// Minimal leveled logger writing to stderr.
+//
+// The engine logs round-level progress at Info; kernels and solvers log
+// nothing on the hot path. Thread-safe: each message is formatted into a
+// local buffer and written with a single mutex-guarded call.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fedvr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void write_log_line(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { write_log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace fedvr::util
+
+// Note the dangling-if shape: when the level is filtered out the streamed
+// operands are never evaluated.
+#define FEDVR_LOG(level)                                                  \
+  if (::fedvr::util::LogLevel::level < ::fedvr::util::log_level()) {      \
+  } else                                                                  \
+    ::fedvr::util::detail::LogStream(::fedvr::util::LogLevel::level)
+
+#define FEDVR_LOG_INFO FEDVR_LOG(kInfo)
+#define FEDVR_LOG_WARN FEDVR_LOG(kWarn)
+#define FEDVR_LOG_DEBUG FEDVR_LOG(kDebug)
+#define FEDVR_LOG_ERROR FEDVR_LOG(kError)

@@ -1,0 +1,94 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace fedvr::util {
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  FEDVR_CHECK(n > 0);
+  // Lemire's method: multiply a 64-bit variate by n and keep the high word,
+  // rejecting the small biased region of the low word.
+  using u128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on (0,1] uniforms; 1-uniform() avoids log(0).
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(angle);
+  has_cached_normal_ = true;
+  return r * std::cos(angle);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  FEDVR_CHECK_MSG(k <= n, "cannot draw " << k << " distinct items from " << n);
+  // Selection sampling (Knuth 3.4.2 algorithm S): O(n), no scratch of size n
+  // beyond the output when k << n would matter, but n here is small.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  std::size_t remaining = n;
+  std::size_t needed = k;
+  for (std::size_t i = 0; i < n && needed > 0; ++i) {
+    if (below(remaining) < needed) {
+      out.push_back(i);
+      --needed;
+    }
+    --remaining;
+  }
+  return out;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  FEDVR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FEDVR_CHECK_MSG(w >= 0.0, "negative categorical weight " << w);
+    total += w;
+  }
+  FEDVR_CHECK_MSG(total > 0.0, "categorical weights sum to zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng fork(std::uint64_t master_seed, std::uint64_t a, std::uint64_t b,
+         std::uint64_t c) {
+  // Run the coordinates through SplitMix64 sequentially; each absorption
+  // fully avalanches, so (seed, a, b, c) tuples map to well-separated seeds.
+  std::uint64_t s = master_seed;
+  (void)splitmix64(s);
+  s ^= a + 0x9E3779B97F4A7C15ULL;
+  (void)splitmix64(s);
+  s ^= b + 0xD1B54A32D192ED03ULL;
+  (void)splitmix64(s);
+  s ^= c + 0x2545F4914F6CDD1DULL;
+  const std::uint64_t derived = splitmix64(s);
+  return Rng(derived);
+}
+
+}  // namespace fedvr::util

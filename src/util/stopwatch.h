@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for harness timing (not for the paper's analytical
+// timing model, which lives in fl/timing_model.h).
+#pragma once
+
+#include <chrono>
+
+namespace fedvr::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fedvr::util

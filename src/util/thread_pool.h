@@ -1,0 +1,75 @@
+// A small fixed-size thread pool plus a blocking parallel_for.
+//
+// The federated engine uses this to run device-local training in parallel
+// (Algorithm 1's "for n in N do in parallel"); the tensor kernels use
+// parallel_for for data-parallel loops. Per the Core Guidelines concurrency
+// rules, tasks share no mutable state: each device owns its slice, and
+// parallel_for hands each worker a disjoint index range.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedvr::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool, blocking until every index is done. Exceptions from
+  /// any chunk propagate (the first one observed is rethrown).
+  ///
+  /// Degenerates to a serial loop when the range is small or the pool has a
+  /// single worker — important on single-core CI machines.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Process-wide pool sized to the hardware. Prefer passing a pool
+  /// explicitly; this exists for call sites (tensor kernels) where threading
+  /// a pool through every expression would obscure the math.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fedvr::util

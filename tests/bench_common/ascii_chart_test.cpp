@@ -1,0 +1,104 @@
+#include "common/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedvr::bench {
+namespace {
+
+using fedvr::util::Error;
+
+Series ramp(const std::string& label, double slope, std::size_t n = 10) {
+  Series s;
+  s.label = label;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.x.push_back(static_cast<double>(i));
+    s.y.push_back(slope * static_cast<double>(i) + 1.0);
+  }
+  return s;
+}
+
+TEST(AsciiChart, RendersTitleAxesAndLegend) {
+  const auto text = render_chart({ramp("loss", -0.1)},
+                                 {.title = "my title",
+                                  .y_label = "why",
+                                  .x_label = "ex"});
+  EXPECT_NE(text.find("my title"), std::string::npos);
+  EXPECT_NE(text.find("x: ex"), std::string::npos);
+  EXPECT_NE(text.find("y: why"), std::string::npos);
+  EXPECT_NE(text.find("[*] loss"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesGetDistinctMarkers) {
+  const auto text =
+      render_chart({ramp("a", 1.0), ramp("b", -1.0), ramp("c", 0.0)}, {});
+  EXPECT_NE(text.find("[*] a"), std::string::npos);
+  EXPECT_NE(text.find("[o] b"), std::string::npos);
+  EXPECT_NE(text.find("[+] c"), std::string::npos);
+}
+
+TEST(AsciiChart, PlotsMarkersInsideTheGrid) {
+  const auto text = render_chart({ramp("a", 1.0)}, {.width = 30, .height = 8});
+  std::size_t stars = 0;
+  for (char c : text) stars += (c == '*');
+  EXPECT_GE(stars, 5u);  // most of the 10 points land on distinct cells
+}
+
+TEST(AsciiChart, SkipsNonFiniteValues) {
+  Series s = ramp("a", 1.0);
+  s.y[3] = std::nan("");
+  s.y[5] = INFINITY;
+  EXPECT_NO_THROW((void)render_chart({s}, {}));
+}
+
+TEST(AsciiChart, AllNonFiniteThrows) {
+  Series s;
+  s.label = "bad";
+  s.x = {0.0, 1.0};
+  s.y = {std::nan(""), std::nan("")};
+  EXPECT_THROW((void)render_chart({s}, {}), Error);
+}
+
+TEST(AsciiChart, EmptySeriesListThrows) {
+  EXPECT_THROW((void)render_chart({}, {}), Error);
+}
+
+TEST(AsciiChart, MismatchedXYThrows) {
+  Series s;
+  s.label = "bad";
+  s.x = {0.0, 1.0};
+  s.y = {1.0};
+  EXPECT_THROW((void)render_chart({s}, {}), Error);
+}
+
+TEST(AsciiChart, LogScalesAnnotated) {
+  Series s;
+  s.label = "a";
+  for (int i = 0; i < 5; ++i) {
+    s.x.push_back(std::pow(10.0, i));
+    s.y.push_back(std::pow(10.0, -i));
+  }
+  const auto text =
+      render_chart({s}, {.log_y = true, .log_x = true});
+  EXPECT_NE(text.find("(log-y)"), std::string::npos);
+  EXPECT_NE(text.find("(log-x)"), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesRendersWithoutDivisionByZero) {
+  Series s;
+  s.label = "flat";
+  s.x = {0.0, 1.0, 2.0};
+  s.y = {5.0, 5.0, 5.0};
+  EXPECT_NO_THROW((void)render_chart({s}, {}));
+}
+
+TEST(AsciiChart, TooSmallDimensionsThrow) {
+  EXPECT_THROW((void)render_chart({ramp("a", 1.0)}, {.width = 4}), Error);
+  EXPECT_THROW((void)render_chart({ramp("a", 1.0)}, {.height = 2}), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::bench

@@ -1,0 +1,81 @@
+#include "core/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace fedvr::core {
+namespace {
+
+using fedvr::util::Error;
+
+HyperParams hp_example() {
+  HyperParams hp;
+  hp.beta = 5.0;
+  hp.smoothness_L = 2.0;
+  hp.tau = 20;
+  hp.mu = 0.1;
+  hp.batch_size = 32;
+  return hp;
+}
+
+TEST(HyperParams, EtaIsOneOverBetaL) {
+  EXPECT_DOUBLE_EQ(hp_example().eta(), 1.0 / 10.0);
+}
+
+TEST(HyperParams, EtaRejectsNonPositiveInputs) {
+  auto hp = hp_example();
+  hp.beta = 0.0;
+  EXPECT_THROW((void)hp.eta(), Error);
+  hp = hp_example();
+  hp.smoothness_L = -1.0;
+  EXPECT_THROW((void)hp.eta(), Error);
+}
+
+TEST(AlgorithmSpecs, FedAvgIsSgdWithoutProx) {
+  const auto spec = fedavg(hp_example());
+  EXPECT_EQ(spec.name, "FedAvg");
+  EXPECT_EQ(spec.options.estimator, opt::Estimator::kSgd);
+  EXPECT_DOUBLE_EQ(spec.options.mu, 0.0);
+  EXPECT_DOUBLE_EQ(spec.options.eta, 0.1);
+  EXPECT_EQ(spec.options.tau, 20u);
+  EXPECT_EQ(spec.options.batch_size, 32u);
+}
+
+TEST(AlgorithmSpecs, FedProxIsSgdWithProx) {
+  const auto spec = fedprox(hp_example());
+  EXPECT_EQ(spec.name, "FedProx");
+  EXPECT_EQ(spec.options.estimator, opt::Estimator::kSgd);
+  EXPECT_DOUBLE_EQ(spec.options.mu, 0.1);
+}
+
+TEST(AlgorithmSpecs, FedProxVrVariantsUseTheirEstimators) {
+  const auto svrg = fedproxvr_svrg(hp_example());
+  EXPECT_EQ(svrg.name, "FedProxVR(SVRG)");
+  EXPECT_EQ(svrg.options.estimator, opt::Estimator::kSvrg);
+  EXPECT_DOUBLE_EQ(svrg.options.mu, 0.1);
+  const auto sarah = fedproxvr_sarah(hp_example());
+  EXPECT_EQ(sarah.name, "FedProxVR(SARAH)");
+  EXPECT_EQ(sarah.options.estimator, opt::Estimator::kSarah);
+}
+
+TEST(AlgorithmSpecs, FedGdUsesFullGradients) {
+  const auto spec = fedgd(hp_example());
+  EXPECT_EQ(spec.name, "FedGD");
+  EXPECT_EQ(spec.options.estimator, opt::Estimator::kFullGradient);
+  EXPECT_DOUBLE_EQ(spec.options.mu, 0.0);
+}
+
+TEST(AlgorithmSpecs, SharedHyperParamsGiveComparableSpecs) {
+  // The §5 protocol: all algorithms share beta, tau, batch size.
+  const auto hp = hp_example();
+  for (const auto& spec :
+       {fedavg(hp), fedprox(hp), fedproxvr_svrg(hp), fedproxvr_sarah(hp)}) {
+    EXPECT_DOUBLE_EQ(spec.options.eta, hp.eta()) << spec.name;
+    EXPECT_EQ(spec.options.tau, hp.tau) << spec.name;
+    EXPECT_EQ(spec.options.batch_size, hp.batch_size) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace fedvr::core

@@ -1,0 +1,156 @@
+// End-to-end tests of the public facade on small federated problems.
+#include "core/fedproxvr.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "theory/smoothness.h"
+
+namespace fedvr::core {
+namespace {
+
+data::FederatedDataset small_synthetic(std::size_t devices = 8) {
+  data::SyntheticConfig cfg;
+  cfg.num_devices = devices;
+  cfg.dim = 12;
+  cfg.num_classes = 4;
+  cfg.min_samples = 30;
+  cfg.max_samples = 80;
+  cfg.seed = 3;
+  return data::make_synthetic(cfg);
+}
+
+HyperParams small_hp() {
+  HyperParams hp;
+  hp.beta = 5.0;
+  hp.smoothness_L = 1.0;
+  hp.tau = 10;
+  hp.mu = 0.1;
+  hp.batch_size = 8;
+  return hp;
+}
+
+fl::TrainerOptions short_run(std::size_t rounds = 15) {
+  fl::TrainerOptions to;
+  to.rounds = rounds;
+  to.seed = 13;
+  return to;
+}
+
+TEST(RunFederated, FedProxVrSvrgLearnsSyntheticTask) {
+  const auto fed = small_synthetic();
+  const auto model = nn::make_logistic_regression(12, 4);
+  const auto trace =
+      run_federated(model, fed, fedproxvr_svrg(small_hp()), short_run(25));
+  ASSERT_EQ(trace.rounds.size(), 25u);
+  EXPECT_EQ(trace.algorithm, "FedProxVR(SVRG)");
+  EXPECT_LT(trace.back().train_loss, 0.7 * trace.rounds.front().train_loss);
+  EXPECT_GT(trace.best_accuracy().first, 0.5);
+}
+
+TEST(RunFederated, FedProxVrSarahLearnsSyntheticTask) {
+  const auto fed = small_synthetic();
+  const auto model = nn::make_logistic_regression(12, 4);
+  const auto trace =
+      run_federated(model, fed, fedproxvr_sarah(small_hp()), short_run(25));
+  EXPECT_LT(trace.back().train_loss, 0.7 * trace.rounds.front().train_loss);
+}
+
+TEST(CompareAlgorithms, AllStartFromTheSameInitialization) {
+  const auto fed = small_synthetic();
+  const auto model = nn::make_logistic_regression(12, 4);
+  const std::array specs = {fedavg(small_hp()), fedproxvr_svrg(small_hp()),
+                            fedproxvr_sarah(small_hp())};
+  fl::TrainerOptions to = short_run(1);
+  to.eval_every = 1;
+  const auto traces = compare_algorithms(model, fed, specs, to);
+  ASSERT_EQ(traces.size(), 3u);
+  // After one identical-seed round with shared w0, losses are already
+  // method-specific but must all be finite and in a sane range.
+  for (const auto& t : traces) {
+    ASSERT_EQ(t.rounds.size(), 1u);
+    EXPECT_TRUE(std::isfinite(t.back().train_loss));
+  }
+}
+
+TEST(CompareAlgorithms, VarianceReductionBeatsPlainSgdOnHeterogeneousData) {
+  // The paper's headline claim, scaled down: at matched hyperparameters on
+  // a heterogeneous synthetic task, FedProxVR reaches a lower training loss
+  // than FedAvg. Seeds and sizes are fixed so the comparison is stable.
+  data::SyntheticConfig cfg;
+  cfg.num_devices = 10;
+  cfg.dim = 15;
+  cfg.num_classes = 5;
+  cfg.alpha = 1.0;
+  cfg.beta = 1.0;
+  cfg.min_samples = 40;
+  cfg.max_samples = 120;
+  cfg.seed = 17;
+  const auto fed = data::make_synthetic(cfg);
+  const auto model = nn::make_logistic_regression(15, 5);
+  // Single-sample inner steps maximize SGD's gradient variance — the regime
+  // variance reduction is built for (Alg. 1 itself is single-sample). The
+  // step size follows the paper: eta = 1/(beta L) with L estimated from the
+  // data (Fig. 1 caption).
+  util::Rng smooth_rng(23);
+  const auto w_probe = [&] {
+    util::Rng r(29);
+    return model->initial_parameters(r);
+  }();
+  data::Dataset pooled(fed.train[0].sample_shape(), 0,
+                       fed.train[0].num_classes());
+  for (const auto& d : fed.train) pooled.append(d);
+  const double L =
+      theory::estimate_smoothness(*model, pooled, w_probe, smooth_rng);
+  // Long local runs (tau >> 1) let the iterates drift from the anchor —
+  // the regime where SGD's variance and client drift dominate and variance
+  // reduction + the proximal anchor pay off (paper §4.3: small gamma favors
+  // large tau).
+  HyperParams hp;
+  hp.beta = 4.0;
+  hp.smoothness_L = L;
+  hp.tau = 200;
+  hp.mu = 0.5;
+  hp.batch_size = 1;
+  const std::array specs = {fedavg(hp), fedproxvr_svrg(hp),
+                            fedproxvr_sarah(hp)};
+  fl::TrainerOptions to;
+  to.rounds = 30;
+  to.seed = 19;
+  const auto traces = compare_algorithms(model, fed, specs, to);
+  // Compare where each method settles (mean of the last 10 evals), not the
+  // single best round: SGD's noise floor is the phenomenon under test.
+  auto tail_loss = [](const fl::TrainingTrace& t) {
+    double sum = 0.0;
+    const std::size_t n = 10;
+    for (std::size_t i = t.rounds.size() - n; i < t.rounds.size(); ++i) {
+      sum += t.rounds[i].train_loss;
+    }
+    return sum / static_cast<double>(n);
+  };
+  const double loss_fedavg = tail_loss(traces[0]);
+  const double loss_svrg = tail_loss(traces[1]);
+  const double loss_sarah = tail_loss(traces[2]);
+  EXPECT_LT(loss_svrg, loss_fedavg);
+  EXPECT_LT(loss_sarah, loss_fedavg);
+}
+
+TEST(RunFederated, ProvidedInitialPointOverridesSeedInit) {
+  const auto fed = small_synthetic(4);
+  const auto model = nn::make_logistic_regression(12, 4);
+  std::vector<double> w0(model->num_parameters(), 0.0);
+  fl::TrainerOptions to = short_run(1);
+  const auto trace =
+      run_federated(model, fed, fedgd(small_hp()), to, w0);
+  // From the zero vector, the round-1 loss is reproducible across calls.
+  const auto trace2 =
+      run_federated(model, fed, fedgd(small_hp()), to,
+                    std::vector<double>(model->num_parameters(), 0.0));
+  EXPECT_DOUBLE_EQ(trace.back().train_loss, trace2.back().train_loss);
+}
+
+}  // namespace
+}  // namespace fedvr::core

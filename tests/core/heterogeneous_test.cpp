@@ -1,0 +1,127 @@
+#include "core/heterogeneous.h"
+
+#include "core/fedproxvr.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "util/error.h"
+
+namespace fedvr::core {
+namespace {
+
+using fedvr::util::Error;
+
+data::FederatedDataset tiny_fed(std::size_t devices = 4) {
+  data::SyntheticConfig cfg;
+  cfg.num_devices = devices;
+  cfg.dim = 10;
+  cfg.num_classes = 3;
+  cfg.min_samples = 30;
+  cfg.max_samples = 60;
+  cfg.seed = 7;
+  return data::make_synthetic(cfg);
+}
+
+HyperParams hp_base() {
+  HyperParams hp;
+  hp.beta = 5.0;
+  hp.tau = 8;
+  hp.mu = 0.1;
+  hp.batch_size = 4;
+  return hp;
+}
+
+TEST(HeterogeneousSolvers, PerDeviceEtaFollowsPerDeviceL) {
+  const auto model = nn::make_logistic_regression(10, 3);
+  const std::vector<double> L = {1.0, 2.0, 4.0};
+  const auto solvers = make_heterogeneous_solvers(
+      model, fedproxvr_svrg(hp_base()), /*beta=*/5.0, L);
+  ASSERT_EQ(solvers.size(), 3u);
+  EXPECT_DOUBLE_EQ(solvers[0].options().eta, 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(solvers[1].options().eta, 1.0 / 10.0);
+  EXPECT_DOUBLE_EQ(solvers[2].options().eta, 1.0 / 20.0);
+  for (const auto& s : solvers) {
+    EXPECT_EQ(s.options().estimator, opt::Estimator::kSvrg);
+    EXPECT_EQ(s.options().tau, 8u);
+  }
+}
+
+TEST(HeterogeneousSolvers, RejectsBadInputs) {
+  const auto model = nn::make_logistic_regression(10, 3);
+  const std::vector<double> bad_L = {1.0, -2.0};
+  EXPECT_THROW((void)make_heterogeneous_solvers(
+                   model, fedavg(hp_base()), 5.0, bad_L),
+               Error);
+  EXPECT_THROW((void)make_heterogeneous_solvers(
+                   model, fedavg(hp_base()), 0.0, std::vector<double>{1.0}),
+               Error);
+}
+
+TEST(HeterogeneousRun, UniformConstantsMatchHomogeneousRun) {
+  const auto fed = tiny_fed();
+  const auto model = nn::make_logistic_regression(10, 3);
+  const auto hp = hp_base();
+  fl::TrainerOptions run_cfg;
+  run_cfg.rounds = 5;
+  run_cfg.seed = 13;
+  const auto homogeneous =
+      run_federated(model, fed, fedproxvr_sarah(hp), run_cfg);
+  const std::vector<double> uniform_L(fed.num_devices(), hp.smoothness_L);
+  const auto heterogeneous = run_federated_heterogeneous(
+      model, fed, fedproxvr_sarah(hp), hp.beta, uniform_L, run_cfg);
+  ASSERT_EQ(homogeneous.rounds.size(), heterogeneous.rounds.size());
+  for (std::size_t i = 0; i < homogeneous.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(homogeneous.rounds[i].train_loss,
+                     heterogeneous.rounds[i].train_loss);
+  }
+}
+
+TEST(HeterogeneousRun, MismatchedDeviceCountThrows) {
+  const auto fed = tiny_fed(4);
+  const auto model = nn::make_logistic_regression(10, 3);
+  const std::vector<double> three_L = {1.0, 1.0, 1.0};
+  EXPECT_THROW((void)run_federated_heterogeneous(
+                   model, fed, fedavg(hp_base()), 5.0, three_L, {}),
+               Error);
+}
+
+TEST(HeterogeneousRun, DistinctConstantsStillConverge) {
+  const auto fed = tiny_fed();
+  const auto model = nn::make_logistic_regression(10, 3);
+  std::vector<double> L_n;
+  for (std::size_t n = 0; n < fed.num_devices(); ++n) {
+    L_n.push_back(1.0 + static_cast<double>(n));  // strongly heterogeneous
+  }
+  fl::TrainerOptions run_cfg;
+  run_cfg.rounds = 15;
+  run_cfg.seed = 17;
+  const auto trace = run_federated_heterogeneous(
+      model, fed, fedproxvr_svrg(hp_base()), 5.0, L_n, run_cfg);
+  EXPECT_LT(trace.back().train_loss, trace.rounds.front().train_loss);
+}
+
+TEST(PlanHyperparams, ProducesFeasibleTheoryBackedConfig) {
+  const theory::ProblemConstants pc{.L = 1.0,
+                                    .lambda = 0.5,
+                                    .sigma_bar_sq = 0.2};
+  const auto hp = plan_hyperparams(0.01, pc, 16);
+  EXPECT_GT(hp.beta, 3.0);
+  EXPECT_GT(hp.mu, pc.lambda);
+  EXPECT_EQ(hp.batch_size, 16u);
+  EXPECT_DOUBLE_EQ(hp.smoothness_L, 1.0);
+  // tau matches eq. (16) at the planned beta (within integer rounding).
+  EXPECT_NEAR(static_cast<double>(hp.tau),
+              theory::tau_upper_sarah(hp.beta), 1.0);
+  // The planned config must be runnable as-is.
+  const auto fed = tiny_fed();
+  const auto model = nn::make_logistic_regression(10, 3);
+  fl::TrainerOptions run_cfg;
+  run_cfg.rounds = 2;
+  EXPECT_NO_THROW(
+      (void)run_federated(model, fed, fedproxvr_sarah(hp), run_cfg));
+}
+
+}  // namespace
+}  // namespace fedvr::core

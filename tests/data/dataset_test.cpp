@@ -1,0 +1,136 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedvr::data {
+namespace {
+
+using fedvr::util::Error;
+using fedvr::util::Rng;
+
+Dataset tiny_dataset() {
+  Dataset d(tensor::Shape({2}), 4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto x = d.mutable_sample(i);
+    x[0] = static_cast<double>(i);
+    x[1] = static_cast<double>(i) * 10;
+    d.set_label(i, static_cast<int>(i % 3));
+  }
+  return d;
+}
+
+TEST(Dataset, StoresAndRetrievesSamples) {
+  const Dataset d = tiny_dataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.feature_dim(), 2u);
+  EXPECT_EQ(d.num_classes(), 3u);
+  EXPECT_DOUBLE_EQ(d.sample(2)[1], 20.0);
+  EXPECT_EQ(d.label(2), 2);
+}
+
+TEST(Dataset, OutOfRangeAccessThrows) {
+  const Dataset d = tiny_dataset();
+  EXPECT_THROW((void)d.sample(4), Error);
+  EXPECT_THROW((void)d.label(4), Error);
+}
+
+TEST(Dataset, SetLabelValidatesRange) {
+  Dataset d = tiny_dataset();
+  EXPECT_THROW(d.set_label(0, 3), Error);
+  EXPECT_THROW(d.set_label(0, -1), Error);
+  EXPECT_NO_THROW(d.set_label(0, 2));
+}
+
+TEST(Dataset, SubsetCopiesSelectedSamples) {
+  const Dataset d = tiny_dataset();
+  const std::vector<std::size_t> idx = {3, 1};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.sample(0)[0], 3.0);
+  EXPECT_EQ(s.label(1), 1);
+}
+
+TEST(Dataset, SplitPartitionsAllSamples) {
+  Dataset d(tensor::Shape({1}), 100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    d.mutable_sample(i)[0] = static_cast<double>(i);
+  }
+  Rng rng(5);
+  const auto [train, test] = d.split(rng, 0.75);
+  EXPECT_EQ(train.size(), 75u);
+  EXPECT_EQ(test.size(), 25u);
+  // Union of feature values must be exactly 0..99.
+  std::vector<int> seen(100, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    seen[static_cast<std::size_t>(train.sample(i)[0])]++;
+  }
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    seen[static_cast<std::size_t>(test.sample(i)[0])]++;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Dataset, SplitKeepsAtLeastOneTrainSampleOnTinyData) {
+  Dataset d(tensor::Shape({1}), 2, 2);
+  Rng rng(5);
+  const auto [train, test] = d.split(rng, 0.75);
+  EXPECT_GE(train.size(), 1u);
+  EXPECT_EQ(train.size() + test.size(), 2u);
+}
+
+TEST(Dataset, SplitRejectsDegenerateFractions) {
+  Dataset d = tiny_dataset();
+  Rng rng(1);
+  EXPECT_THROW((void)d.split(rng, 0.0), Error);
+  EXPECT_THROW((void)d.split(rng, 1.0), Error);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset a = tiny_dataset();
+  const Dataset b = tiny_dataset();
+  a.append(b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_DOUBLE_EQ(a.sample(7)[0], 3.0);
+}
+
+TEST(Dataset, AppendShapeMismatchThrows) {
+  Dataset a = tiny_dataset();
+  const Dataset b(tensor::Shape({3}), 2, 3);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+TEST(Dataset, ClassHistogramCounts) {
+  const Dataset d = tiny_dataset();  // labels 0,1,2,0
+  const auto hist = d.class_histogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(FederatedDataset, WeightsAreProportionalAndSumToOne) {
+  FederatedDataset fed;
+  fed.train.push_back(Dataset(tensor::Shape({1}), 30, 2));
+  fed.train.push_back(Dataset(tensor::Shape({1}), 10, 2));
+  fed.test.push_back(Dataset(tensor::Shape({1}), 5, 2));
+  fed.test.push_back(Dataset(tensor::Shape({1}), 5, 2));
+  EXPECT_EQ(fed.total_train_size(), 40u);
+  EXPECT_DOUBLE_EQ(fed.weight(0), 0.75);
+  EXPECT_DOUBLE_EQ(fed.weight(1), 0.25);
+  EXPECT_DOUBLE_EQ(fed.weight(0) + fed.weight(1), 1.0);
+}
+
+TEST(FederatedDataset, PooledTestConcatenatesAllDevices) {
+  FederatedDataset fed;
+  fed.train.push_back(Dataset(tensor::Shape({1}), 1, 2));
+  fed.test.push_back(Dataset(tensor::Shape({1}), 3, 2));
+  fed.test.push_back(Dataset(tensor::Shape({1}), 4, 2));
+  EXPECT_EQ(fed.pooled_test().size(), 7u);
+}
+
+}  // namespace
+}  // namespace fedvr::data

@@ -1,0 +1,137 @@
+#include "data/federated_split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/procedural_images.h"
+#include "util/error.h"
+
+namespace fedvr::data {
+namespace {
+
+using fedvr::util::Error;
+
+Dataset balanced_pool() {
+  ProceduralImageConfig cfg;
+  cfg.side = 10;  // small and fast for tests
+  return make_procedural_pool_balanced(cfg, 40, 17);
+}
+
+TEST(DeviceLabelSet, CyclesThroughAllClasses) {
+  std::set<int> first_labels;
+  for (std::size_t k = 0; k < 10; ++k) {
+    const auto ls = device_label_set(k, 10, 2);
+    ASSERT_EQ(ls.size(), 2u);
+    first_labels.insert(ls[0]);
+  }
+  EXPECT_EQ(first_labels.size(), 10u);
+}
+
+TEST(DeviceLabelSet, LabelsAreDistinct) {
+  for (std::size_t k = 0; k < 200; ++k) {
+    const auto ls = device_label_set(k, 10, 3);
+    const std::set<int> uniq(ls.begin(), ls.end());
+    EXPECT_EQ(uniq.size(), 3u) << "device " << k;
+  }
+}
+
+TEST(DeviceLabelSet, PairsVaryAcrossDeviceBlocks) {
+  // Devices 0 and 10 share the first label but must differ in the second
+  // (stride grows with the device block).
+  const auto a = device_label_set(0, 10, 2);
+  const auto b = device_label_set(10, 10, 2);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_NE(a[1], b[1]);
+}
+
+TEST(DeviceLabelSet, RejectsImpossibleRequests) {
+  EXPECT_THROW((void)device_label_set(0, 10, 11), Error);
+  EXPECT_THROW((void)device_label_set(0, 10, 0), Error);
+}
+
+TEST(ShardByLabel, EachDeviceHasOnlyItsTwoLabels) {
+  const Dataset pool = balanced_pool();
+  LabelShardConfig cfg;
+  cfg.num_devices = 20;
+  cfg.min_samples = 8;
+  cfg.max_samples = 30;
+  const FederatedDataset fed = shard_by_label(pool, cfg);
+  ASSERT_EQ(fed.num_devices(), 20u);
+  for (std::size_t k = 0; k < 20; ++k) {
+    const auto expected = device_label_set(k, 10, 2);
+    const std::set<int> allowed(expected.begin(), expected.end());
+    std::set<int> seen;
+    for (std::size_t i = 0; i < fed.train[k].size(); ++i) {
+      seen.insert(fed.train[k].label(i));
+    }
+    for (std::size_t i = 0; i < fed.test[k].size(); ++i) {
+      seen.insert(fed.test[k].label(i));
+    }
+    for (int y : seen) {
+      EXPECT_TRUE(allowed.count(y)) << "device " << k << " has label " << y;
+    }
+    EXPECT_LE(seen.size(), 2u);
+  }
+}
+
+TEST(ShardByLabel, SizesFollowConfiguredRange) {
+  const Dataset pool = balanced_pool();
+  LabelShardConfig cfg;
+  cfg.num_devices = 10;
+  cfg.min_samples = 10;
+  cfg.max_samples = 50;
+  const FederatedDataset fed = shard_by_label(pool, cfg);
+  for (std::size_t k = 0; k < 10; ++k) {
+    const std::size_t total = fed.train[k].size() + fed.test[k].size();
+    EXPECT_GE(total, 10u);
+    EXPECT_LE(total, 50u);
+  }
+}
+
+TEST(ShardByLabel, DeterministicInSeed) {
+  const Dataset pool = balanced_pool();
+  LabelShardConfig cfg;
+  cfg.num_devices = 5;
+  cfg.min_samples = 8;
+  cfg.max_samples = 20;
+  const FederatedDataset a = shard_by_label(pool, cfg);
+  const FederatedDataset b = shard_by_label(pool, cfg);
+  for (std::size_t k = 0; k < 5; ++k) {
+    ASSERT_EQ(a.train[k].size(), b.train[k].size());
+    for (std::size_t i = 0; i < a.train[k].size(); ++i) {
+      EXPECT_EQ(a.train[k].label(i), b.train[k].label(i));
+    }
+  }
+}
+
+TEST(ShardByLabel, WrapsWhenPoolIsSmall) {
+  // Tiny pool, big demand: sampling-with-reuse must still terminate and
+  // fill every device.
+  ProceduralImageConfig pc;
+  pc.side = 8;
+  const Dataset pool = make_procedural_pool_balanced(pc, 2, 3);
+  LabelShardConfig cfg;
+  cfg.num_devices = 4;
+  cfg.min_samples = 20;
+  cfg.max_samples = 40;
+  const FederatedDataset fed = shard_by_label(pool, cfg);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GE(fed.train[k].size() + fed.test[k].size(), 20u);
+  }
+}
+
+TEST(ShardByLabel, EmptyPoolThrows) {
+  const Dataset empty(tensor::Shape({4}), 0, 10);
+  LabelShardConfig cfg;
+  EXPECT_THROW((void)shard_by_label(empty, cfg), Error);
+}
+
+TEST(ShardByLabel, MissingClassThrows) {
+  Dataset pool(tensor::Shape({2}), 10, 10);  // all labels default to 0
+  LabelShardConfig cfg;
+  EXPECT_THROW((void)shard_by_label(pool, cfg), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::data

@@ -1,0 +1,68 @@
+#include "data/image_datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace fedvr::data {
+namespace {
+
+TEST(ImagePaths, MnistFilesLiveInDataDir) {
+  ImageDatasetConfig cfg;
+  cfg.family = ImageFamily::kDigits;
+  cfg.data_dir = "my_data";
+  EXPECT_EQ(idx_images_path(cfg), "my_data/train-images-idx3-ubyte");
+  EXPECT_EQ(idx_labels_path(cfg), "my_data/train-labels-idx1-ubyte");
+}
+
+TEST(ImagePaths, FashionFilesLiveInSubdirectory) {
+  ImageDatasetConfig cfg;
+  cfg.family = ImageFamily::kFashion;
+  cfg.data_dir = "my_data";
+  EXPECT_EQ(idx_images_path(cfg), "my_data/fashion/train-images-idx3-ubyte");
+  EXPECT_EQ(idx_labels_path(cfg), "my_data/fashion/train-labels-idx1-ubyte");
+}
+
+TEST(MakeFederatedImages, ProceduralFallbackProducesValidFederation) {
+  ImageDatasetConfig cfg;
+  cfg.data_dir = "/definitely/not/a/real/path";
+  cfg.side = 8;
+  cfg.pool_size = 300;
+  cfg.shard.num_devices = 5;
+  cfg.shard.min_samples = 20;
+  cfg.shard.max_samples = 60;
+  const auto result = make_federated_images(cfg);
+  EXPECT_FALSE(result.used_real_files);
+  EXPECT_EQ(result.fed.num_devices(), 5u);
+  EXPECT_EQ(result.fed.train.front().sample_shape(),
+            tensor::Shape({1, 8, 8}));
+  // Devices carry at most shard.labels_per_device distinct labels.
+  for (const auto& d : result.fed.train) {
+    std::size_t distinct = 0;
+    for (auto count : d.class_histogram()) distinct += (count > 0);
+    EXPECT_LE(distinct, cfg.shard.labels_per_device);
+  }
+}
+
+TEST(MakeFederatedImages, FamiliesProduceDifferentPools) {
+  ImageDatasetConfig digits;
+  digits.data_dir = "/none";
+  digits.side = 8;
+  digits.pool_size = 100;
+  digits.shard.num_devices = 2;
+  digits.shard.min_samples = 10;
+  digits.shard.max_samples = 30;
+  ImageDatasetConfig fashion = digits;
+  fashion.family = ImageFamily::kFashion;
+  const auto a = make_federated_images(digits);
+  const auto b = make_federated_images(fashion);
+  // Same seeds, same shapes, different glyph families: pixels must differ.
+  const auto xa = a.fed.train[0].sample(0);
+  const auto xb = b.fed.train[0].sample(0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < xa.size(); ++i) {
+    diff += std::abs(xa[i] - xb[i]);
+  }
+  EXPECT_GT(diff, 0.5);
+}
+
+}  // namespace
+}  // namespace fedvr::data

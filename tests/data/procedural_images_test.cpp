@@ -1,0 +1,142 @@
+#include "data/procedural_images.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::data {
+namespace {
+
+using fedvr::util::Error;
+using fedvr::util::Rng;
+
+class RenderAllClasses
+    : public ::testing::TestWithParam<std::tuple<ImageFamily, int>> {};
+
+TEST_P(RenderAllClasses, ProducesInkInRange) {
+  const auto [family, label] = GetParam();
+  ProceduralImageConfig cfg;
+  cfg.family = family;
+  Rng rng(7);
+  std::vector<double> img(cfg.side * cfg.side);
+  render_procedural_image(cfg, label, rng, img);
+  double total = 0.0;
+  for (double p : img) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  // Every glyph must deposit a visible amount of ink but not flood the
+  // canvas.
+  EXPECT_GT(total, 10.0);
+  EXPECT_LT(total, 0.8 * static_cast<double>(img.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFamiliesAllLabels, RenderAllClasses,
+    ::testing::Combine(::testing::Values(ImageFamily::kDigits,
+                                         ImageFamily::kFashion),
+                       ::testing::Range(0, 10)));
+
+TEST(ProceduralImages, ClassesAreVisuallyDistinct) {
+  // Noise-free class prototypes must differ pairwise by a healthy margin,
+  // otherwise the classification task would be ill-posed.
+  ProceduralImageConfig cfg;
+  cfg.noise_stddev = 0.0;
+  cfg.max_shift = 0.0;
+  cfg.max_rotate = 0.0;
+  cfg.min_scale = 1.0;
+  cfg.max_scale = 1.0;
+  cfg.max_shear = 0.0;
+  const std::size_t n = cfg.side * cfg.side;
+  std::vector<std::vector<double>> protos;
+  for (int c = 0; c < 10; ++c) {
+    Rng rng(1);
+    std::vector<double> img(n);
+    render_procedural_image(cfg, c, rng, img);
+    protos.push_back(std::move(img));
+  }
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      const double d2 = tensor::squared_distance(protos[static_cast<std::size_t>(a)],
+                                                 protos[static_cast<std::size_t>(b)]);
+      EXPECT_GT(d2, 1.0) << "classes " << a << " and " << b
+                         << " are nearly identical";
+    }
+  }
+}
+
+TEST(ProceduralImages, SamplesOfSameClassVary) {
+  ProceduralImageConfig cfg;
+  Rng rng(3);
+  std::vector<double> a(cfg.side * cfg.side), b(cfg.side * cfg.side);
+  render_procedural_image(cfg, 4, rng, a);
+  render_procedural_image(cfg, 4, rng, b);
+  EXPECT_GT(tensor::squared_distance(a, b), 0.1);
+}
+
+TEST(ProceduralImages, RenderIsDeterministicInRngState) {
+  ProceduralImageConfig cfg;
+  Rng r1(9), r2(9);
+  std::vector<double> a(cfg.side * cfg.side), b(cfg.side * cfg.side);
+  render_procedural_image(cfg, 2, r1, a);
+  render_procedural_image(cfg, 2, r2, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ProceduralImages, InvalidLabelThrows) {
+  ProceduralImageConfig cfg;
+  Rng rng(1);
+  std::vector<double> img(cfg.side * cfg.side);
+  EXPECT_THROW(render_procedural_image(cfg, 10, rng, img), Error);
+  EXPECT_THROW(render_procedural_image(cfg, -1, rng, img), Error);
+}
+
+TEST(ProceduralImages, WrongBufferSizeThrows) {
+  ProceduralImageConfig cfg;
+  Rng rng(1);
+  std::vector<double> img(10);
+  EXPECT_THROW(render_procedural_image(cfg, 0, rng, img), Error);
+}
+
+TEST(ProceduralImages, SupportsSmallerCanvas) {
+  ProceduralImageConfig cfg;
+  cfg.side = 14;
+  Rng rng(5);
+  std::vector<double> img(14 * 14);
+  render_procedural_image(cfg, 7, rng, img);
+  double total = 0.0;
+  for (double p : img) total += p;
+  EXPECT_GT(total, 2.0);
+}
+
+TEST(ProceduralPool, UniformPoolHasAllClasses) {
+  ProceduralImageConfig cfg;
+  cfg.side = 14;
+  const Dataset pool = make_procedural_pool(cfg, 500, 11);
+  EXPECT_EQ(pool.size(), 500u);
+  EXPECT_EQ(pool.num_classes(), 10u);
+  const auto hist = pool.class_histogram();
+  for (auto h : hist) EXPECT_GT(h, 20u);
+}
+
+TEST(ProceduralPool, BalancedPoolIsExactlyBalanced) {
+  ProceduralImageConfig cfg;
+  cfg.side = 14;
+  const Dataset pool = make_procedural_pool_balanced(cfg, 12, 13);
+  EXPECT_EQ(pool.size(), 120u);
+  for (auto h : pool.class_histogram()) EXPECT_EQ(h, 12u);
+}
+
+TEST(ProceduralPool, SampleShapeIsCHW) {
+  ProceduralImageConfig cfg;
+  const Dataset pool = make_procedural_pool(cfg, 3, 1);
+  EXPECT_EQ(pool.sample_shape(), tensor::Shape({1, 28, 28}));
+}
+
+}  // namespace
+}  // namespace fedvr::data

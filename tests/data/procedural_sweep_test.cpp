@@ -1,0 +1,79 @@
+// Parameterized sweep: the procedural image generator must stay well-formed
+// across canvas sizes and both families (bench defaults use several sizes).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "data/federated_split.h"
+#include "data/procedural_images.h"
+#include "tensor/vecops.h"
+
+namespace fedvr::data {
+namespace {
+
+using fedvr::util::Rng;
+using SweepParam = std::tuple<ImageFamily, std::size_t>;  // family, side
+
+class ProceduralSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  ProceduralImageConfig config() const {
+    const auto [family, side] = GetParam();
+    ProceduralImageConfig cfg;
+    cfg.family = family;
+    cfg.side = side;
+    return cfg;
+  }
+};
+
+TEST_P(ProceduralSweep, EveryClassRendersVisibleDistinctGlyphs) {
+  const auto cfg = config();
+  const std::size_t n = cfg.side * cfg.side;
+  std::vector<std::vector<double>> images;
+  for (int c = 0; c < 10; ++c) {
+    Rng rng(42);
+    std::vector<double> img(n);
+    render_procedural_image(cfg, c, rng, img);
+    double total = 0.0;
+    for (double p : img) {
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+      total += p;
+    }
+    // Visible ink on any canvas size: at least 2% mean intensity.
+    EXPECT_GT(total / static_cast<double>(n), 0.02) << "class " << c;
+    images.push_back(std::move(img));
+  }
+  // Pairwise distinctness scales with canvas area.
+  const double min_sq = 0.002 * static_cast<double>(n);
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      EXPECT_GT(tensor::squared_distance(images[static_cast<std::size_t>(a)],
+                                         images[static_cast<std::size_t>(b)]),
+                min_sq)
+          << "classes " << a << "/" << b;
+    }
+  }
+}
+
+TEST_P(ProceduralSweep, BalancedPoolRoundTripsThroughSharding) {
+  const auto cfg = config();
+  const Dataset pool = make_procedural_pool_balanced(cfg, 20, 3);
+  LabelShardConfig shard;
+  shard.num_devices = 6;
+  shard.min_samples = 10;
+  shard.max_samples = 40;
+  const FederatedDataset fed = shard_by_label(pool, shard);
+  EXPECT_EQ(fed.num_devices(), 6u);
+  EXPECT_EQ(fed.train.front().feature_dim(),
+            std::get<1>(GetParam()) * std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSizes, ProceduralSweep,
+    ::testing::Combine(::testing::Values(ImageFamily::kDigits,
+                                         ImageFamily::kFashion),
+                       ::testing::Values<std::size_t>(8, 12, 16, 28)));
+
+}  // namespace
+}  // namespace fedvr::data

@@ -1,0 +1,111 @@
+#include "fl/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "fl/timing_model.h"
+#include "util/error.h"
+
+namespace fedvr::fl {
+namespace {
+
+using fedvr::util::Error;
+
+TrainingTrace make_trace(std::initializer_list<double> losses,
+                         std::initializer_list<double> accs) {
+  TrainingTrace t;
+  t.algorithm = "test";
+  auto li = losses.begin();
+  auto ai = accs.begin();
+  std::size_t round = 1;
+  for (; li != losses.end() && ai != accs.end(); ++li, ++ai, ++round) {
+    RoundMetrics m;
+    m.round = round;
+    m.train_loss = *li;
+    m.test_accuracy = *ai;
+    t.rounds.push_back(m);
+  }
+  return t;
+}
+
+TEST(TimingModel, RoundAndTotalTime) {
+  const TimingModel tm{.d_com = 2.0, .d_cmp = 0.5};
+  EXPECT_DOUBLE_EQ(tm.round_time(10), 7.0);
+  EXPECT_DOUBLE_EQ(tm.total_time(4, 10), 28.0);
+  EXPECT_DOUBLE_EQ(tm.gamma(), 0.25);
+}
+
+TEST(TimingModel, FromGammaNormalizesDcom) {
+  const TimingModel tm = TimingModel::from_gamma(0.1);
+  EXPECT_DOUBLE_EQ(tm.d_com, 1.0);
+  EXPECT_DOUBLE_EQ(tm.d_cmp, 0.1);
+  EXPECT_THROW((void)TimingModel::from_gamma(0.0), Error);
+}
+
+TEST(TimingModel, ZeroDcomGammaThrows) {
+  const TimingModel tm{.d_com = 0.0, .d_cmp = 1.0};
+  EXPECT_THROW((void)tm.gamma(), Error);
+}
+
+TEST(TrainingTrace, BestAccuracyReturnsFirstMaximum) {
+  const auto t = make_trace({1.0, 0.5, 0.4, 0.39}, {0.1, 0.9, 0.9, 0.8});
+  const auto [best, round] = t.best_accuracy();
+  EXPECT_DOUBLE_EQ(best, 0.9);
+  EXPECT_EQ(round, 2u);
+}
+
+TEST(TrainingTrace, BestAccuracyOnEmptyThrows) {
+  const TrainingTrace t;
+  EXPECT_THROW((void)t.best_accuracy(), Error);
+}
+
+TEST(TrainingTrace, FirstRoundBelowLoss) {
+  const auto t = make_trace({1.0, 0.6, 0.3, 0.2}, {0, 0, 0, 0});
+  EXPECT_EQ(t.first_round_below_loss(0.5).value(), 3u);
+  EXPECT_EQ(t.first_round_below_loss(1.5).value(), 1u);
+  EXPECT_FALSE(t.first_round_below_loss(0.1).has_value());
+}
+
+TEST(TrainingTrace, MinTrainLoss) {
+  const auto t = make_trace({1.0, 0.2, 0.5}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(t.min_train_loss(), 0.2);
+}
+
+TEST(TrainingTrace, DivergenceDetector) {
+  EXPECT_FALSE(make_trace({1.0, 0.5}, {0, 0}).diverged());
+  EXPECT_TRUE(make_trace({1.0, 5.0}, {0, 0}).diverged());
+  auto nan_trace = make_trace({1.0, 1.0}, {0, 0});
+  nan_trace.rounds.back().train_loss =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(nan_trace.diverged());
+  // Single-round traces cannot be classified.
+  EXPECT_FALSE(make_trace({9.0}, {0}).diverged());
+}
+
+TEST(TrainingTrace, WriteCsvRoundTrips) {
+  auto t = make_trace({0.7, 0.6}, {0.5, 0.55});
+  const auto dir =
+      std::filesystem::temp_directory_path() / "fedvr_metrics_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "trace.csv").string();
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header,
+            "algorithm,round,train_loss,test_accuracy,grad_norm_sq,"
+            "model_time,wall_seconds,mean_local_theta,comm_bytes,"
+            "sample_grad_evals");
+  EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
+  EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fedvr::fl

@@ -1,0 +1,340 @@
+#include "fl/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "tensor/vecops.h"
+#include "testing/quadratic_model.h"
+#include "util/error.h"
+
+namespace fedvr::fl {
+namespace {
+
+using fedvr::testing::dataset_mean;
+using fedvr::testing::quadratic_dataset;
+using fedvr::testing::QuadraticModel;
+using fedvr::util::Error;
+
+constexpr std::size_t kDim = 4;
+
+// Two devices with quadratic objectives centered at different points: the
+// global optimum is the D_n/D-weighted mean of the two centers.
+data::FederatedDataset two_device_fed(std::size_t n0, std::size_t n1,
+                                      double c0, double c1) {
+  data::FederatedDataset fed;
+  fed.train.push_back(quadratic_dataset(n0, kDim, c0, 0.1, 100));
+  fed.train.push_back(quadratic_dataset(n1, kDim, c1, 0.1, 200));
+  fed.test.push_back(quadratic_dataset(8, kDim, c0, 0.1, 300));
+  fed.test.push_back(quadratic_dataset(8, kDim, c1, 0.1, 400));
+  return fed;
+}
+
+opt::LocalSolver gd_solver(std::shared_ptr<const nn::Model> model,
+                           std::size_t tau, double eta, double mu) {
+  opt::LocalSolverOptions o;
+  o.estimator = opt::Estimator::kFullGradient;
+  o.tau = tau;
+  o.eta = eta;
+  o.mu = mu;
+  return opt::LocalSolver(std::move(model), o);
+}
+
+TEST(Trainer, ValidatesConstruction) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions bad;
+  bad.rounds = 0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  TrainerOptions sample_too_many;
+  sample_too_many.devices_per_round = 5;
+  EXPECT_THROW(Trainer(model, fed, sample_too_many), Error);
+  data::FederatedDataset with_empty = two_device_fed(10, 10, 0.0, 1.0);
+  with_empty.train[1] = data::Dataset(tensor::Shape({kDim}), 0, 2);
+  EXPECT_THROW(Trainer(model, with_empty, TrainerOptions{}), Error);
+}
+
+TEST(Trainer, GlobalLossIsWeightedDeviceLoss) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(30, 10, 0.0, 2.0);
+  const Trainer trainer(model, fed, TrainerOptions{});
+  const std::vector<double> w(kDim, 1.0);
+  const double expected = 0.75 * model->full_loss(w, fed.train[0]) +
+                          0.25 * model->full_loss(w, fed.train[1]);
+  EXPECT_NEAR(trainer.global_loss(w), expected, 1e-12);
+}
+
+TEST(Trainer, GlobalGradNormSqMatchesAnalyticQuadratic) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(20, 20, -1.0, 3.0);
+  const Trainer trainer(model, fed, TrainerOptions{});
+  // grad F̄(w) = w - weighted mean of device means.
+  std::vector<double> target(kDim, 0.0);
+  tensor::axpy(fed.weight(0), dataset_mean(fed.train[0]), target);
+  tensor::axpy(fed.weight(1), dataset_mean(fed.train[1]), target);
+  const std::vector<double> w(kDim, 0.5);
+  EXPECT_NEAR(trainer.global_grad_norm_sq(w),
+              tensor::squared_distance(w, target), 1e-10);
+}
+
+TEST(Trainer, ConvergesToWeightedOptimumWithFullGradientLocalSteps) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(30, 10, 0.0, 4.0);
+  TrainerOptions opts;
+  opts.rounds = 60;
+  opts.seed = 5;
+  const Trainer trainer(model, fed, opts);
+  // Moderate mu keeps locals near the anchor => stable convergence to the
+  // weighted optimum.
+  const auto trace = trainer.run(gd_solver(model, 5, 0.3, 1.0), "gd");
+  ASSERT_FALSE(trace.empty());
+  // Loss decreases to (near) the irreducible variance floor.
+  EXPECT_LT(trace.back().train_loss, trace.rounds.front().train_loss);
+  EXPECT_LT(trace.back().train_loss - trace.min_train_loss(), 1e-6);
+}
+
+TEST(Trainer, SerialAndParallelRunsProduceIdenticalTraces) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(15, 25, 1.0, -2.0);
+  TrainerOptions serial;
+  serial.rounds = 10;
+  serial.seed = 7;
+  serial.parallel = false;
+  TrainerOptions parallel = serial;
+  parallel.parallel = true;
+  const Trainer ts(model, fed, serial);
+  const Trainer tp(model, fed, parallel);
+  const auto a = ts.run(gd_solver(model, 3, 0.2, 0.5), "x");
+  const auto b = tp.run(gd_solver(model, 3, 0.2, 0.5), "x");
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss);
+    EXPECT_DOUBLE_EQ(a.rounds[i].test_accuracy, b.rounds[i].test_accuracy);
+  }
+}
+
+TEST(Trainer, TraceRecordsModelTimeFromTimingModel) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 4;
+  opts.timing = TimingModel{.d_com = 1.0, .d_cmp = 0.5};
+  const Trainer trainer(model, fed, opts);
+  const std::size_t tau = 6;
+  const auto trace = trainer.run(gd_solver(model, tau, 0.2, 0.5), "t");
+  ASSERT_EQ(trace.rounds.size(), 4u);
+  const double per_round = 1.0 + 0.5 * static_cast<double>(tau);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(trace.rounds[i].model_time,
+                per_round * static_cast<double>(i + 1), 1e-12);
+  }
+}
+
+TEST(Trainer, EvalEveryThinsTheTrace) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 10;
+  opts.eval_every = 3;
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  // Rounds 3, 6, 9 plus the final round 10.
+  ASSERT_EQ(trace.rounds.size(), 4u);
+  EXPECT_EQ(trace.rounds[0].round, 3u);
+  EXPECT_EQ(trace.rounds.back().round, 10u);
+}
+
+TEST(Trainer, ClientSamplingUsesSubsetAndStaysDeterministic) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  data::FederatedDataset fed;
+  for (int d = 0; d < 6; ++d) {
+    fed.train.push_back(
+        quadratic_dataset(10, kDim, static_cast<double>(d), 0.1,
+                          500 + static_cast<std::uint64_t>(d)));
+    fed.test.push_back(
+        quadratic_dataset(4, kDim, static_cast<double>(d), 0.1,
+                          600 + static_cast<std::uint64_t>(d)));
+  }
+  TrainerOptions opts;
+  opts.rounds = 8;
+  opts.seed = 11;
+  opts.devices_per_round = 2;
+  const Trainer trainer(model, fed, opts);
+  const auto a = trainer.run(gd_solver(model, 3, 0.2, 0.5), "s");
+  const auto b = trainer.run(gd_solver(model, 3, 0.2, 0.5), "s");
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss);
+  }
+  EXPECT_LT(a.back().train_loss, a.rounds.front().train_loss * 1.5);
+}
+
+TEST(Trainer, TargetAccuracyStopsEarly) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 50;
+  opts.target_accuracy = 0.0;  // any accuracy qualifies => stop at round 1
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  EXPECT_EQ(trace.rounds.size(), 1u);
+}
+
+TEST(Trainer, ProvidedInitialPointIsUsed) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 0.0);
+  TrainerOptions opts;
+  opts.rounds = 1;
+  const Trainer trainer(model, fed, opts);
+  // Start exactly at the optimum: the first round must not move the loss
+  // above its floor, and mu enormous pins the iterate there.
+  std::vector<double> w0(kDim, 0.0);
+  for (std::size_t i = 0; i < kDim; ++i) {
+    w0[i] = dataset_mean(fed.train[0])[i] * fed.weight(0) +
+            dataset_mean(fed.train[1])[i] * fed.weight(1);
+  }
+  const auto trace =
+      trainer.run(gd_solver(model, 2, 0.1, 1e9), "pin", w0);
+  const double floor_loss = trainer.global_loss(w0);
+  EXPECT_NEAR(trace.back().train_loss, floor_loss, 1e-6);
+}
+
+TEST(Trainer, MaxTrainLossSeesSpikes) {
+  TrainingTrace t;
+  t.algorithm = "x";
+  for (double loss : {1.0, 9.0, 0.5}) {
+    RoundMetrics m;
+    m.train_loss = loss;
+    t.rounds.push_back(m);
+  }
+  EXPECT_DOUBLE_EQ(t.max_train_loss(), 9.0);
+  t.rounds[1].train_loss = std::nan("");
+  EXPECT_TRUE(std::isinf(t.max_train_loss()));
+}
+
+TEST(Trainer, EvalInitialRecordsRoundZero) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 3;
+  opts.eval_initial = true;
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  ASSERT_EQ(trace.rounds.size(), 4u);
+  EXPECT_EQ(trace.rounds.front().round, 0u);
+  // Round 0 carries the loss at the initialization, before any update.
+  util::Rng init_rng = util::fork(opts.seed, 0, 0, util::stream::kInit);
+  const auto w0 = model->initial_parameters(init_rng);
+  EXPECT_NEAR(trace.rounds.front().train_loss, trainer.global_loss(w0),
+              1e-12);
+}
+
+TEST(Trainer, CommBytesAccountingMatchesFormula) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 5;
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  // rounds x devices x 2 directions x dim x 8 bytes, cumulative.
+  for (std::size_t i = 0; i < trace.rounds.size(); ++i) {
+    const std::size_t rounds_done = trace.rounds[i].round;
+    EXPECT_EQ(trace.rounds[i].comm_bytes,
+              rounds_done * 2u * 2u * kDim * sizeof(double));
+  }
+}
+
+TEST(Trainer, SampleGradEvalAccountingMatchesSolverCosts) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(12, 8, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 3;
+  const Trainer trainer(model, fed, opts);
+  const std::size_t tau = 4;
+  const auto trace = trainer.run(gd_solver(model, tau, 0.2, 0.5), "t");
+  // Full-gradient solver: per device per round, n anchor + tau * n inner.
+  const std::size_t per_round = (12 + 8) * (1 + tau);
+  EXPECT_EQ(trace.back().sample_grad_evals, 3 * per_round);
+}
+
+TEST(Trainer, PerDeviceSolversRunTheirOwnConfigurations) {
+  // Device 0 frozen (tiny eta), device 1 converging: after aggregation the
+  // global model must sit strictly between the anchor and device 1's
+  // optimum — evidence both solvers actually ran with their own options.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 4.0);
+  std::vector<opt::LocalSolver> solvers;
+  opt::LocalSolverOptions frozen;
+  frozen.estimator = opt::Estimator::kFullGradient;
+  frozen.tau = 4;
+  frozen.eta = 1e-12;
+  frozen.mu = 0.0;
+  solvers.emplace_back(model, frozen);
+  opt::LocalSolverOptions moving = frozen;
+  moving.eta = 0.3;
+  solvers.emplace_back(model, moving);
+  TrainerOptions opts;
+  opts.rounds = 1;
+  const Trainer trainer(model, fed, opts);
+  std::vector<double> w0(kDim, 0.0);
+  const auto trace =
+      trainer.run(std::span<const opt::LocalSolver>(solvers), "het", w0);
+  // Device 0 stays ~0 (its mean is ~0 anyway); device 1 moved toward 4.
+  // The weighted average must have moved strictly off the origin.
+  double norm = 0.0;
+  for (double v : trace.final_parameters) norm += v * v;
+  EXPECT_GT(norm, 0.1);
+}
+
+TEST(Trainer, PerDeviceSolversTimingChargesTheLargestTau) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  std::vector<opt::LocalSolver> solvers;
+  opt::LocalSolverOptions small_tau;
+  small_tau.estimator = opt::Estimator::kFullGradient;
+  small_tau.tau = 2;
+  small_tau.eta = 0.1;
+  solvers.emplace_back(model, small_tau);
+  opt::LocalSolverOptions big_tau = small_tau;
+  big_tau.tau = 9;
+  solvers.emplace_back(model, big_tau);
+  TrainerOptions opts;
+  opts.rounds = 3;
+  opts.timing = TimingModel{.d_com = 1.0, .d_cmp = 1.0};
+  const Trainer trainer(model, fed, opts);
+  const auto trace =
+      trainer.run(std::span<const opt::LocalSolver>(solvers), "het");
+  EXPECT_NEAR(trace.back().model_time, 3.0 * (1.0 + 9.0), 1e-12);
+}
+
+TEST(Trainer, PerDeviceSolverCountMismatchThrows) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  std::vector<opt::LocalSolver> solvers;
+  opt::LocalSolverOptions o;
+  o.eta = 0.1;
+  solvers.emplace_back(model, o);  // one solver, two devices
+  const Trainer trainer(model, fed, TrainerOptions{});
+  EXPECT_THROW(
+      (void)trainer.run(std::span<const opt::LocalSolver>(solvers), "x"),
+      Error);
+}
+
+TEST(Trainer, GradNormEvaluationIsOptIn) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions off;
+  off.rounds = 2;
+  TrainerOptions on = off;
+  on.eval_grad_norm = true;
+  const Trainer toff(model, fed, off);
+  const Trainer ton(model, fed, on);
+  const auto a = toff.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  const auto b = ton.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  EXPECT_LT(a.back().grad_norm_sq, 0.0);   // sentinel -1
+  EXPECT_GE(b.back().grad_norm_sq, 0.0);
+}
+
+}  // namespace
+}  // namespace fedvr::fl

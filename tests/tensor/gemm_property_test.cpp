@@ -1,0 +1,91 @@
+// Parameterized algebraic property sweeps for GEMM: linearity, identity,
+// associativity-with-transpose — checked across shapes and alpha/beta.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "util/rng.h"
+
+namespace fedvr::tensor {
+namespace {
+
+using fedvr::util::Rng;
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  Rng& rng) {
+  std::vector<double> m(rows * cols);
+  for (auto& v : m) v = rng.normal();
+  return m;
+}
+
+std::vector<double> identity(std::size_t n) {
+  std::vector<double> id(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) id[i * n + i] = 1.0;
+  return id;
+}
+
+using ShapeAlphaBeta = std::tuple<std::size_t, std::size_t, std::size_t,
+                                  double, double>;
+
+class GemmAlgebra : public ::testing::TestWithParam<ShapeAlphaBeta> {};
+
+TEST_P(GemmAlgebra, IdentityLeavesOperandScaled) {
+  const auto [m, n, k, alpha, beta] = GetParam();
+  (void)k;
+  Rng rng(m * 31 + n * 7);
+  const auto b = random_matrix(m, n, rng);
+  auto c = random_matrix(m, n, rng);
+  const auto c0 = c;
+  gemm_packed(Trans::kNo, Trans::kNo, m, n, m, alpha, identity(m), b, beta,
+              c);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], alpha * b[i] + beta * c0[i], 1e-12);
+  }
+}
+
+TEST_P(GemmAlgebra, LinearityInAlpha) {
+  const auto [m, n, k, alpha, beta] = GetParam();
+  (void)beta;
+  Rng rng(m * 13 + k * 3);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> c1(m * n, 0.0), c2(m * n, 0.0);
+  gemm_packed(Trans::kNo, Trans::kNo, m, n, k, alpha, a, b, 0.0, c1);
+  gemm_packed(Trans::kNo, Trans::kNo, m, n, k, 2.0 * alpha, a, b, 0.0, c2);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c2[i], 2.0 * c1[i], 1e-10);
+  }
+}
+
+TEST_P(GemmAlgebra, TransposeOfProductMatchesReversedProduct) {
+  // (A B)^T == B^T A^T: compute both sides through the kernel itself.
+  const auto [m, n, k, alpha, beta] = GetParam();
+  (void)alpha;
+  (void)beta;
+  Rng rng(n * 17 + k * 5);
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<double> ab(m * n, 0.0);
+  gemm_packed(Trans::kNo, Trans::kNo, m, n, k, 1.0, a, b, 0.0, ab);
+  // B^T A^T via the transpose flags, storing an (n x m) result.
+  std::vector<double> btat(n * m, 0.0);
+  gemm_packed(Trans::kYes, Trans::kYes, n, m, k, 1.0, b, a, 0.0, btat);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(ab[i * n + j], btat[j * m + i], 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndScales, GemmAlgebra,
+    ::testing::Values(ShapeAlphaBeta{1, 1, 1, 1.0, 0.0},
+                      ShapeAlphaBeta{3, 5, 2, 0.5, 1.0},
+                      ShapeAlphaBeta{8, 8, 8, -1.0, 0.5},
+                      ShapeAlphaBeta{16, 4, 32, 2.0, -0.25},
+                      ShapeAlphaBeta{7, 13, 11, 1.0, 1.0}));
+
+}  // namespace
+}  // namespace fedvr::tensor

@@ -1,0 +1,168 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedvr::tensor {
+namespace {
+
+using fedvr::util::Error;
+using fedvr::util::Rng;
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{.channels = 1,
+                 .height = 28,
+                 .width = 28,
+                 .kernel_h = 5,
+                 .kernel_w = 5,
+                 .pad = 2,
+                 .stride = 1};
+  EXPECT_EQ(g.out_h(), 28u);  // 'same' conv
+  EXPECT_EQ(g.out_w(), 28u);
+  EXPECT_EQ(g.col_rows(), 25u);
+}
+
+TEST(ConvGeometry, StridedOutputDims) {
+  ConvGeometry g{.channels = 3,
+                 .height = 8,
+                 .width = 8,
+                 .kernel_h = 3,
+                 .kernel_w = 3,
+                 .pad = 0,
+                 .stride = 2};
+  EXPECT_EQ(g.out_h(), 3u);
+  EXPECT_EQ(g.out_w(), 3u);
+  EXPECT_EQ(g.col_rows(), 27u);
+}
+
+TEST(Im2col, IdentityKernelReproducesImage) {
+  // 1x1 kernel, no padding: cols should equal the image itself.
+  ConvGeometry g{.channels = 2,
+                 .height = 3,
+                 .width = 3,
+                 .kernel_h = 1,
+                 .kernel_w = 1,
+                 .pad = 0,
+                 .stride = 1};
+  std::vector<double> image(g.image_size());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<double>(i);
+  }
+  std::vector<double> cols(g.col_rows() * g.out_pixels());
+  im2col(g, image, cols);
+  EXPECT_EQ(cols, image);
+}
+
+TEST(Im2col, KnownPatchExtraction) {
+  // 3x3 single-channel image, 2x2 kernel, stride 1, no pad:
+  // out is 2x2; row (kh,kw)=(0,0) picks the top-left of each window.
+  ConvGeometry g{.channels = 1,
+                 .height = 3,
+                 .width = 3,
+                 .kernel_h = 2,
+                 .kernel_w = 2,
+                 .pad = 0,
+                 .stride = 1};
+  const std::vector<double> image = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<double> cols(g.col_rows() * g.out_pixels());
+  im2col(g, image, cols);
+  // rows: (0,0) (0,1) (1,0) (1,1); columns: windows at (0,0),(0,1),(1,0),(1,1)
+  const std::vector<double> expected = {
+      1, 2, 4, 5,   // kernel element (0,0)
+      2, 3, 5, 6,   // (0,1)
+      4, 5, 7, 8,   // (1,0)
+      5, 6, 8, 9};  // (1,1)
+  EXPECT_EQ(cols, expected);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  ConvGeometry g{.channels = 1,
+                 .height = 2,
+                 .width = 2,
+                 .kernel_h = 3,
+                 .kernel_w = 3,
+                 .pad = 1,
+                 .stride = 1};
+  const std::vector<double> image = {1, 2, 3, 4};
+  std::vector<double> cols(g.col_rows() * g.out_pixels());
+  im2col(g, image, cols);
+  // Kernel element (0,0) at output (0,0) reads input (-1,-1): padding zero.
+  EXPECT_DOUBLE_EQ(cols[0], 0.0);
+  // Kernel element (1,1) (center) at output (0,0) reads input (0,0) = 1.
+  const std::size_t center_row = 1 * 3 + 1;
+  EXPECT_DOUBLE_EQ(cols[center_row * g.out_pixels() + 0], 1.0);
+}
+
+TEST(Im2col, WrongBufferSizesThrow) {
+  ConvGeometry g{.channels = 1,
+                 .height = 3,
+                 .width = 3,
+                 .kernel_h = 2,
+                 .kernel_w = 2,
+                 .pad = 0,
+                 .stride = 1};
+  std::vector<double> image(9), cols(10);  // cols should be 16
+  EXPECT_THROW(im2col(g, image, cols), Error);
+  std::vector<double> image_bad(8), cols_ok(16);
+  EXPECT_THROW(im2col(g, image_bad, cols_ok), Error);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property
+  // used by conv backprop. Check with random vectors on several geometries.
+  const std::vector<ConvGeometry> geometries = {
+      {.channels = 1, .height = 4, .width = 4, .kernel_h = 3, .kernel_w = 3,
+       .pad = 0, .stride = 1},
+      {.channels = 2, .height = 5, .width = 4, .kernel_h = 3, .kernel_w = 2,
+       .pad = 1, .stride = 2},
+      {.channels = 3, .height = 6, .width = 6, .kernel_h = 5, .kernel_w = 5,
+       .pad = 2, .stride = 1},
+  };
+  Rng rng(11);
+  for (const auto& g : geometries) {
+    std::vector<double> x(g.image_size());
+    std::vector<double> y(g.col_rows() * g.out_pixels());
+    for (auto& v : x) v = rng.normal();
+    for (auto& v : y) v = rng.normal();
+    std::vector<double> ax(y.size());
+    im2col(g, x, ax);
+    std::vector<double> aty(x.size(), 0.0);
+    col2im(g, y, aty);
+    EXPECT_NEAR(dot(ax, y), dot(x, aty), 1e-10);
+  }
+}
+
+TEST(Col2im, AccumulatesOntoImage) {
+  ConvGeometry g{.channels = 1,
+                 .height = 2,
+                 .width = 2,
+                 .kernel_h = 1,
+                 .kernel_w = 1,
+                 .pad = 0,
+                 .stride = 1};
+  const std::vector<double> cols = {1, 2, 3, 4};
+  std::vector<double> image = {10, 10, 10, 10};
+  col2im(g, cols, image);
+  EXPECT_DOUBLE_EQ(image[0], 11);
+  EXPECT_DOUBLE_EQ(image[3], 14);
+}
+
+TEST(Im2col, KernelLargerThanPaddedImageThrows) {
+  ConvGeometry g{.channels = 1,
+                 .height = 2,
+                 .width = 2,
+                 .kernel_h = 5,
+                 .kernel_w = 5,
+                 .pad = 0,
+                 .stride = 1};
+  std::vector<double> image(4), cols(1);
+  EXPECT_THROW(im2col(g, image, cols), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::tensor

@@ -1,0 +1,250 @@
+#include "tensor/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedvr::tensor {
+namespace {
+
+using fedvr::util::Error;
+using fedvr::util::Rng;
+
+// Naive reference GEMM for property tests.
+std::vector<double> ref_gemm(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                             std::size_t k, const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  auto A = [&](std::size_t i, std::size_t p) {
+    return ta == Trans::kNo ? a[i * k + p] : a[p * m + i];
+  };
+  auto B = [&](std::size_t p, std::size_t j) {
+    return tb == Trans::kNo ? b[p * n + j] : b[j * k + p];
+  };
+  std::vector<double> c(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += A(i, p) * B(p, j);
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Gemm, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {5, 6, 7, 8};
+  std::vector<double> c(4, 0.0);
+  gemm_packed(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0, a, b, 0.0, c);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(Gemm, AlphaBetaCombine) {
+  const std::vector<double> a = {1, 0, 0, 1};  // identity
+  const std::vector<double> b = {2, 3, 4, 5};
+  std::vector<double> c = {10, 10, 10, 10};
+  gemm_packed(Trans::kNo, Trans::kNo, 2, 2, 2, 2.0, a, b, 0.5, c);
+  // c = 2*b + 0.5*10
+  EXPECT_DOUBLE_EQ(c[0], 9);
+  EXPECT_DOUBLE_EQ(c[1], 11);
+  EXPECT_DOUBLE_EQ(c[2], 13);
+  EXPECT_DOUBLE_EQ(c[3], 15);
+}
+
+TEST(Gemm, BetaZeroIgnoresExistingC) {
+  const std::vector<double> a = {1};
+  const std::vector<double> b = {1};
+  std::vector<double> c = {123456.0};
+  gemm_packed(Trans::kNo, Trans::kNo, 1, 1, 1, 1.0, a, b, 0.0, c);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+}
+
+struct GemmCase {
+  Trans ta;
+  Trans tb;
+  std::size_t m, n, k;
+};
+
+class GemmProperty : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmProperty, MatchesNaiveReference) {
+  const auto [ta, tb, m, n, k] = GetParam();
+  Rng rng(m * 1000 + n * 100 + k * 10 +
+          static_cast<std::size_t>(ta == Trans::kYes) * 2 +
+          static_cast<std::size_t>(tb == Trans::kYes));
+  std::vector<double> a(m * k), b(k * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<double> c(m * n, 0.0);
+  gemm_packed(ta, tb, m, n, k, 1.0, a, b, 0.0, c);
+  const auto ref = ref_gemm(ta, tb, m, n, k, a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-10 * (1.0 + std::abs(ref[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeAndShapeCombos, GemmProperty,
+    ::testing::Values(GemmCase{Trans::kNo, Trans::kNo, 3, 4, 5},
+                      GemmCase{Trans::kYes, Trans::kNo, 3, 4, 5},
+                      GemmCase{Trans::kNo, Trans::kYes, 3, 4, 5},
+                      GemmCase{Trans::kYes, Trans::kYes, 3, 4, 5},
+                      GemmCase{Trans::kNo, Trans::kNo, 1, 1, 1},
+                      GemmCase{Trans::kNo, Trans::kNo, 16, 16, 16},
+                      GemmCase{Trans::kYes, Trans::kNo, 7, 2, 9},
+                      GemmCase{Trans::kNo, Trans::kYes, 2, 13, 1},
+                      GemmCase{Trans::kYes, Trans::kYes, 5, 5, 8}));
+
+TEST(Gemm, StridedCRegion) {
+  // Write a 2x2 product into the top-left of a 2x4 buffer (ldc = 4).
+  const std::vector<double> a = {1, 0, 0, 1};
+  const std::vector<double> b = {1, 2, 3, 4};
+  std::vector<double> c(8, -1.0);
+  gemm(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0, a, 2, b, 2, 0.0, c, 4);
+  EXPECT_DOUBLE_EQ(c[0], 1);
+  EXPECT_DOUBLE_EQ(c[1], 2);
+  EXPECT_DOUBLE_EQ(c[2], -1);  // untouched
+  EXPECT_DOUBLE_EQ(c[4], 3);
+  EXPECT_DOUBLE_EQ(c[5], 4);
+}
+
+TEST(Gemm, TooSmallStorageThrows) {
+  const std::vector<double> a = {1, 2, 3};  // needs 4 for 2x2
+  const std::vector<double> b = {1, 2, 3, 4};
+  std::vector<double> c(4);
+  EXPECT_THROW(gemm_packed(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0, a, b, 0.0,
+                           c),
+               Error);
+}
+
+TEST(Gemv, NoTransposeMatchesManual) {
+  // A = [1 2 3; 4 5 6], x = [1, 1, 1] -> [6, 15]
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> x = {1, 1, 1};
+  std::vector<double> y(2, 0.0);
+  gemv(Trans::kNo, 2, 3, 1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+}
+
+TEST(Gemv, TransposeMatchesManual) {
+  // A^T * x with A (2x3), x len 2: [1 4; 2 5; 3 6] * [1; 2] = [9, 12, 15]
+  const std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> x = {1, 2};
+  std::vector<double> y(3, 0.0);
+  gemv(Trans::kYes, 2, 3, 1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 9);
+  EXPECT_DOUBLE_EQ(y[1], 12);
+  EXPECT_DOUBLE_EQ(y[2], 15);
+}
+
+TEST(Gemv, BetaAccumulates) {
+  const std::vector<double> a = {1, 0, 0, 1};
+  const std::vector<double> x = {3, 4};
+  std::vector<double> y = {100, 200};
+  gemv(Trans::kNo, 2, 2, 1.0, a, x, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 103);
+  EXPECT_DOUBLE_EQ(y[1], 204);
+}
+
+TEST(Gemv, WrongVectorLengthThrows) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> x = {1.0};  // should be 2
+  std::vector<double> y(2);
+  EXPECT_THROW(gemv(Trans::kNo, 2, 2, 1.0, a, x, 0.0, y), Error);
+}
+
+TEST(Relu, ClampsNegatives) {
+  const std::vector<double> x = {-2, -0.0, 0.5, 3};
+  std::vector<double> out(4);
+  relu(x, out);
+  EXPECT_DOUBLE_EQ(out[0], 0);
+  EXPECT_DOUBLE_EQ(out[1], 0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+  EXPECT_DOUBLE_EQ(out[3], 3);
+}
+
+TEST(Relu, BackwardMasksByForwardInput) {
+  const std::vector<double> x = {-1, 2, 0, 3};
+  const std::vector<double> dy = {10, 10, 10, 10};
+  std::vector<double> dx(4);
+  relu_backward(x, dy, dx);
+  EXPECT_DOUBLE_EQ(dx[0], 0);
+  EXPECT_DOUBLE_EQ(dx[1], 10);
+  EXPECT_DOUBLE_EQ(dx[2], 0);  // subgradient at 0 chosen as 0
+  EXPECT_DOUBLE_EQ(dx[3], 10);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  const std::size_t rows = 5, cols = 9;
+  std::vector<double> logits(rows * cols);
+  for (auto& v : logits) v = rng.normal(0.0, 3.0);
+  std::vector<double> probs(rows * cols);
+  softmax_rows(rows, cols, logits, probs);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      EXPECT_GT(probs[i * cols + j], 0.0);
+      sum += probs[i * cols + j];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Softmax, IsStableForHugeLogits) {
+  const std::vector<double> logits = {1000.0, 1000.0, -1000.0};
+  std::vector<double> probs(3);
+  softmax_rows(1, 3, logits, probs);
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+  EXPECT_NEAR(probs[2], 0.0, 1e-12);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {11.0, 12.0, 13.0};
+  std::vector<double> pa(3), pb(3);
+  softmax_rows(1, 3, a, pa);
+  softmax_rows(1, 3, b, pb);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(pa[j], pb[j], 1e-12);
+}
+
+TEST(ArgmaxRows, PicksFirstMaximum) {
+  const std::vector<double> x = {0, 5, 5, 1,   // -> 1 (first of ties)
+                                 9, 2, 3, 4};  // -> 0
+  std::vector<std::size_t> out(2);
+  argmax_rows(2, 4, x, out);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(AddBiasRows, AddsPerColumn) {
+  std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> bias = {10, 20};
+  add_bias_rows(2, 2, x, bias);
+  EXPECT_DOUBLE_EQ(x[0], 11);
+  EXPECT_DOUBLE_EQ(x[1], 22);
+  EXPECT_DOUBLE_EQ(x[2], 13);
+  EXPECT_DOUBLE_EQ(x[3], 24);
+}
+
+TEST(SumRows, ComputesColumnSums) {
+  const std::vector<double> dy = {1, 2, 3, 4, 5, 6};
+  std::vector<double> g(3, 99.0);
+  sum_rows(2, 3, dy, g);
+  EXPECT_DOUBLE_EQ(g[0], 5);
+  EXPECT_DOUBLE_EQ(g[1], 7);
+  EXPECT_DOUBLE_EQ(g[2], 9);
+}
+
+}  // namespace
+}  // namespace fedvr::tensor

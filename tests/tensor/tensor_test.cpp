@@ -1,0 +1,101 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/error.h"
+
+namespace fedvr::tensor {
+namespace {
+
+using fedvr::util::Error;
+
+TEST(Shape, NumelMultipliesDims) {
+  EXPECT_EQ(Shape({2, 3, 4}).numel(), 24u);
+  EXPECT_EQ(Shape({7}).numel(), 7u);
+  EXPECT_EQ(Shape({}).numel(), 1u);
+}
+
+TEST(Shape, EqualityComparesRankAndDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({2, 3, 1}));
+}
+
+TEST(Shape, IndexOutOfRankThrows) {
+  const Shape s({2, 3});
+  EXPECT_THROW((void)s[2], Error);
+}
+
+TEST(Shape, StrFormats) { EXPECT_EQ(Shape({2, 3}).str(), "[2, 3]"); }
+
+TEST(Tensor, ConstructsZeroFilled) {
+  const Tensor t(Shape({2, 3}));
+  EXPECT_EQ(t.numel(), 6u);
+  for (double v : t.view()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Tensor, ConstructsWithFillValue) {
+  const Tensor t(Shape({4}), 2.5);
+  for (double v : t.view()) EXPECT_EQ(v, 2.5);
+}
+
+TEST(Tensor, AdoptsDataVector) {
+  const Tensor t(Shape({2, 2}), {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(t(1, 0), 3.0);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape({2, 2}), {1.0, 2.0}), Error);
+}
+
+TEST(Tensor, RowMajorIndexing2D) {
+  Tensor t(Shape({2, 3}));
+  t(1, 2) = 9.0;
+  EXPECT_EQ(t.view()[5], 9.0);
+}
+
+TEST(Tensor, RowMajorIndexing3D) {
+  Tensor t(Shape({2, 3, 4}));
+  t(1, 2, 3) = 7.0;
+  EXPECT_EQ(t.view()[1 * 12 + 2 * 4 + 3], 7.0);
+}
+
+TEST(Tensor, RowMajorIndexing4D) {
+  Tensor t(Shape({2, 3, 4, 5}));
+  t(1, 2, 3, 4) = 6.0;
+  EXPECT_EQ(t.view()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 6.0);
+}
+
+TEST(Tensor, AtChecksBounds) {
+  Tensor t(Shape({2, 3}));
+  t(0, 1) = 5.0;
+  const std::array<std::size_t, 2> ok = {0, 1};
+  EXPECT_EQ(t.at(ok), 5.0);
+  const std::array<std::size_t, 2> bad = {0, 3};
+  EXPECT_THROW((void)t.at(bad), Error);
+  const std::array<std::size_t, 1> wrong_rank = {0};
+  EXPECT_THROW((void)t.at(wrong_rank), Error);
+}
+
+TEST(Tensor, FillOverwritesAll) {
+  Tensor t(Shape({3, 3}), 1.0);
+  t.fill(-2.0);
+  for (double v : t.view()) EXPECT_EQ(v, -2.0);
+}
+
+TEST(Tensor, ReshapedKeepsDataChangesShape) {
+  Tensor t(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape({3, 2}));
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_EQ(r(2, 1), 6.0);
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  const Tensor t(Shape({2, 3}));
+  EXPECT_THROW((void)t.reshaped(Shape({4, 2})), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::tensor

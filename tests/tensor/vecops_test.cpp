@@ -1,0 +1,160 @@
+#include "tensor/vecops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedvr::tensor {
+namespace {
+
+using fedvr::util::Error;
+using fedvr::util::Rng;
+
+TEST(Vecops, AxpyAccumulates) {
+  const std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[1], 24);
+  EXPECT_DOUBLE_EQ(y[2], 36);
+}
+
+TEST(Vecops, AxpySizeMismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  std::vector<double> y = {1};
+  EXPECT_THROW(axpy(1.0, x, y), Error);
+}
+
+TEST(Vecops, AxpbyBlends) {
+  const std::vector<double> x = {4, 8};
+  std::vector<double> y = {1, 1};
+  axpby(0.5, x, 2.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 4);  // 0.5*4 + 2*1
+  EXPECT_DOUBLE_EQ(y[1], 6);
+}
+
+TEST(Vecops, ScalMultiplies) {
+  std::vector<double> x = {1, -2, 3};
+  scal(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2);
+  EXPECT_DOUBLE_EQ(x[1], 4);
+  EXPECT_DOUBLE_EQ(x[2], -6);
+}
+
+TEST(Vecops, DotMatchesManual) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4 - 10 + 18);
+}
+
+TEST(Vecops, Nrm2OfUnitVectors) {
+  const std::vector<double> e = {0, 1, 0};
+  EXPECT_DOUBLE_EQ(nrm2(e), 1.0);
+  const std::vector<double> v = {3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(nrm2_squared(v), 25.0);
+}
+
+TEST(Vecops, SquaredDistance) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {4, 6};
+  EXPECT_DOUBLE_EQ(squared_distance(x, y), 9 + 16);
+}
+
+TEST(Vecops, CopySubAddFill) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {10, 20, 30};
+  std::vector<double> out(3);
+  copy(x, out);
+  EXPECT_EQ(out, x);
+  sub(y, x, out);
+  EXPECT_DOUBLE_EQ(out[1], 18);
+  add(y, x, out);
+  EXPECT_DOUBLE_EQ(out[2], 33);
+  fill(out, 7.0);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Vecops, AccumulateWeightedIsWeightedSum) {
+  const std::vector<double> w1 = {1, 1};
+  const std::vector<double> w2 = {3, 5};
+  std::vector<double> acc(2, 0.0);
+  accumulate_weighted(0.25, w1, acc);
+  accumulate_weighted(0.75, w2, acc);
+  EXPECT_DOUBLE_EQ(acc[0], 0.25 + 2.25);
+  EXPECT_DOUBLE_EQ(acc[1], 0.25 + 3.75);
+}
+
+// --- prox_quadratic: the paper's eq. (10). ---
+
+TEST(Prox, MuZeroIsIdentity) {
+  const std::vector<double> x = {1.5, -2.0};
+  const std::vector<double> anchor = {0.0, 0.0};
+  std::vector<double> out(2);
+  prox_quadratic(x, anchor, 0.1, 0.0, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Prox, LargeMuPullsToAnchor) {
+  const std::vector<double> x = {10.0};
+  const std::vector<double> anchor = {2.0};
+  std::vector<double> out(1);
+  prox_quadratic(x, anchor, 1.0, 1e9, out);
+  EXPECT_NEAR(out[0], 2.0, 1e-6);
+}
+
+TEST(Prox, MatchesArgminDefinition) {
+  // prox minimizes g(w) = (mu/2)||w-anchor||^2 + (1/(2 eta))||w-x||^2.
+  // Verify the first-order condition mu(w-anchor) + (w-x)/eta = 0 holds.
+  Rng rng(3);
+  const double eta = 0.05, mu = 2.0;
+  std::vector<double> x(8), anchor(8), out(8);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : anchor) v = rng.normal();
+  prox_quadratic(x, anchor, eta, mu, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double foc = mu * (out[i] - anchor[i]) + (out[i] - x[i]) / eta;
+    EXPECT_NEAR(foc, 0.0, 1e-10);
+  }
+}
+
+TEST(Prox, MatchesPaperClosedFormEq10) {
+  // Paper eq. (10): prox(x) = eta/(1+eta mu) * (mu anchor + x/eta).
+  const double eta = 0.2, mu = 1.5;
+  const std::vector<double> x = {0.7};
+  const std::vector<double> anchor = {-0.3};
+  std::vector<double> out(1);
+  prox_quadratic(x, anchor, eta, mu, out);
+  const double expected = eta / (1.0 + eta * mu) * (mu * -0.3 + 0.7 / eta);
+  EXPECT_NEAR(out[0], expected, 1e-14);
+}
+
+TEST(Prox, IsNonExpansive) {
+  // ||prox(x) - prox(y)|| <= ||x - y|| for any prox of a convex function.
+  Rng rng(5);
+  std::vector<double> x(16), y(16), anchor(16), px(16), py(16);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  for (auto& v : anchor) v = rng.normal();
+  prox_quadratic(x, anchor, 0.3, 4.0, px);
+  prox_quadratic(y, anchor, 0.3, 4.0, py);
+  EXPECT_LE(std::sqrt(squared_distance(px, py)),
+            std::sqrt(squared_distance(x, y)) + 1e-12);
+}
+
+TEST(Prox, InvalidParamsThrow) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> anchor = {0.0};
+  std::vector<double> out(1);
+  EXPECT_THROW(prox_quadratic(x, anchor, 0.0, 1.0, out), Error);
+  EXPECT_THROW(prox_quadratic(x, anchor, -0.1, 1.0, out), Error);
+  EXPECT_THROW(prox_quadratic(x, anchor, 0.1, -1.0, out), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::tensor

@@ -1,0 +1,35 @@
+// Finite-difference gradient checking shared by the nn test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace fedvr::testing {
+
+/// Verifies `analytic` (gradient of `f` at `w`) against central differences.
+/// `tolerance` is relative: |ad - fd| <= tolerance * max(1, |fd|).
+inline void expect_gradient_matches(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const double> w, std::span<const double> analytic,
+    double step = 1e-6, double tolerance = 1e-5) {
+  ASSERT_EQ(w.size(), analytic.size());
+  std::vector<double> probe(w.begin(), w.end());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double original = probe[i];
+    probe[i] = original + step;
+    const double up = f(probe);
+    probe[i] = original - step;
+    const double down = f(probe);
+    probe[i] = original;
+    const double fd = (up - down) / (2.0 * step);
+    const double scale = std::max(1.0, std::abs(fd));
+    EXPECT_NEAR(analytic[i], fd, tolerance * scale)
+        << "gradient mismatch at parameter " << i;
+  }
+}
+
+}  // namespace fedvr::testing

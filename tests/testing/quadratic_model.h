@@ -1,0 +1,100 @@
+// A least-squares test model with analytically known behaviour:
+//   f_i(w) = 0.5 ||w - x_i||^2   (x_i = sample i's feature vector)
+//   F(w)   = 0.5 ||w - mean(x)||^2 + const,  grad F(w) = w - mean(x).
+//
+// Key property exploited by the solver tests: for this family the SVRG and
+// SARAH estimators are *exact* — per-sample gradient differences cancel the
+// sampled x_i, so v_t == grad F(w_t) for every batch choice. Inner-loop
+// trajectories must therefore coincide with full-gradient descent, batch
+// size notwithstanding.
+//
+// predict() classifies by the sign of the first coordinate relative to the
+// sample's first feature — enough to exercise the accuracy plumbing.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::testing {
+
+class QuadraticModel final : public nn::Model {
+ public:
+  explicit QuadraticModel(std::size_t dim) : dim_(dim) {}
+
+  [[nodiscard]] std::size_t num_parameters() const override { return dim_; }
+
+  void initialize(util::Rng& rng, std::span<double> w) const override {
+    FEDVR_CHECK(w.size() == dim_);
+    for (auto& v : w) v = rng.normal();
+  }
+
+  [[nodiscard]] double loss(std::span<const double> w,
+                            const data::Dataset& ds,
+                            std::span<const std::size_t> indices)
+      const override {
+    FEDVR_CHECK(w.size() == dim_ && !indices.empty());
+    double total = 0.0;
+    for (std::size_t i : indices) {
+      total += 0.5 * tensor::squared_distance(w, ds.sample(i));
+    }
+    return total / static_cast<double>(indices.size());
+  }
+
+  double loss_and_gradient(std::span<const double> w, const data::Dataset& ds,
+                           std::span<const std::size_t> indices,
+                           std::span<double> grad) const override {
+    FEDVR_CHECK(grad.size() == dim_);
+    tensor::fill(grad, 0.0);
+    double total = 0.0;
+    for (std::size_t i : indices) {
+      const auto x = ds.sample(i);
+      total += 0.5 * tensor::squared_distance(w, x);
+      for (std::size_t j = 0; j < dim_; ++j) grad[j] += w[j] - x[j];
+    }
+    const double inv = 1.0 / static_cast<double>(indices.size());
+    tensor::scal(inv, grad);
+    return total * inv;
+  }
+
+  void predict(std::span<const double> w, const data::Dataset& ds,
+               std::span<const std::size_t> indices,
+               std::span<std::size_t> out) const override {
+    FEDVR_CHECK(out.size() == indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const auto x = ds.sample(indices[k]);
+      out[k] = (w[0] - x[0]) > 0.0 ? 1u : 0u;
+    }
+  }
+
+ private:
+  std::size_t dim_;
+};
+
+/// Dataset of n points ~ N(center, spread^2 I) for the quadratic model.
+inline data::Dataset quadratic_dataset(std::size_t n, std::size_t dim,
+                                       double center, double spread,
+                                       std::uint64_t seed) {
+  data::Dataset ds(tensor::Shape({dim}), n, 2);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : ds.mutable_sample(i)) v = rng.normal(center, spread);
+    ds.set_label(i, static_cast<int>(i % 2));
+  }
+  return ds;
+}
+
+/// mean(x) — the unique minimizer of the quadratic objective.
+inline std::vector<double> dataset_mean(const data::Dataset& ds) {
+  std::vector<double> mean(ds.feature_dim(), 0.0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    tensor::axpy(1.0, ds.sample(i), mean);
+  }
+  tensor::scal(1.0 / static_cast<double>(ds.size()), mean);
+  return mean;
+}
+
+}  // namespace fedvr::testing

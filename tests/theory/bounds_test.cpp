@@ -1,0 +1,174 @@
+#include "theory/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fedvr::theory {
+namespace {
+
+using fedvr::util::Error;
+
+ProblemConstants fig1_constants() {
+  // Fig. 1's setting: L = 1, lambda = 0.5.
+  return ProblemConstants{.L = 1.0, .lambda = 0.5, .sigma_bar_sq = 0.2};
+}
+
+TEST(Bounds, MuTilde) {
+  EXPECT_DOUBLE_EQ(mu_tilde(1.5, 0.5), 1.0);
+  EXPECT_LT(mu_tilde(0.3, 0.5), 0.0);
+}
+
+TEST(Bounds, TauLowerMatchesHandComputedValue) {
+  // beta=5, L=1, mu=1.5, lambda=0.5 (mu_tilde=1), theta=0.5:
+  // 3(25 + 2.25) / (0.25 * 1 * 1 * 2) = 81.75 / 0.5 = 163.5
+  const auto pc = fig1_constants();
+  EXPECT_NEAR(tau_lower_bound(5.0, 1.5, 0.5, pc), 163.5, 1e-10);
+}
+
+TEST(Bounds, TauLowerRejectsInvalidInputs) {
+  const auto pc = fig1_constants();
+  EXPECT_THROW((void)tau_lower_bound(3.0, 1.5, 0.5, pc), Error);   // beta<=3
+  EXPECT_THROW((void)tau_lower_bound(5.0, 0.4, 0.5, pc), Error);   // mu<=lambda
+  EXPECT_THROW((void)tau_lower_bound(5.0, 1.5, 0.0, pc), Error);   // theta=0
+  EXPECT_THROW((void)tau_lower_bound(5.0, 1.5, 1.5, pc), Error);   // theta>1
+}
+
+TEST(Bounds, TauLowerScalesAsInverseThetaSquared) {
+  // Remark 1(2): tau = Omega(1/theta^2).
+  const auto pc = fig1_constants();
+  const double t1 = tau_lower_bound(6.0, 1.5, 0.2, pc);
+  const double t2 = tau_lower_bound(6.0, 1.5, 0.1, pc);
+  EXPECT_NEAR(t2 / t1, 4.0, 1e-10);
+}
+
+TEST(Bounds, TauLowerGrowsWithMuAsymptotically) {
+  // Remark 1(4): the lower bound is Omega(mu). For mu >> lambda it grows
+  // linearly (mu^2 / mu_tilde ~ mu); near mu_tilde -> 0+ it also blows up,
+  // so growth is asymptotic, not global.
+  const auto pc = fig1_constants();
+  const double at_20 = tau_lower_bound(8.0, 20.0, 0.5, pc);
+  const double at_200 = tau_lower_bound(8.0, 200.0, 0.5, pc);
+  const double at_2000 = tau_lower_bound(8.0, 2000.0, 0.5, pc);
+  EXPECT_GT(at_200, at_20);
+  EXPECT_GT(at_2000, at_200);
+  EXPECT_NEAR(at_2000 / at_200, 10.0, 1.0);  // ~linear in mu
+}
+
+TEST(Bounds, TauUpperSarahQuadraticInBeta) {
+  EXPECT_DOUBLE_EQ(tau_upper_sarah(5.0), (125.0 - 20.0) / 8.0);
+  EXPECT_DOUBLE_EQ(tau_upper_sarah(4.0), 8.0);
+}
+
+TEST(Bounds, SvrgAminSatisfiesYoungConditionWithEquality) {
+  // a_min solves a - 4 = 4 sqrt(a (tau+1)).
+  for (double tau : {0.0, 1.0, 5.0, 50.0}) {
+    const double a = svrg_a_min(tau);
+    EXPECT_NEAR(a - 4.0, 4.0 * std::sqrt(a * (tau + 1.0)), 1e-8)
+        << "tau = " << tau;
+    EXPECT_GE(a, 4.0);
+  }
+}
+
+TEST(Bounds, TauUpperSvrgFeasibleSetIsConsistent) {
+  // The returned tau satisfies the condition; tau+1 must not.
+  const double beta = 30.0;
+  const auto tau_opt = tau_upper_svrg(beta);
+  ASSERT_TRUE(tau_opt.has_value());
+  const double tau = *tau_opt;
+  const double budget = 5.0 * beta * beta - 4.0 * beta;
+  EXPECT_LE(tau, budget / (8.0 * svrg_a_min(tau)) - 2.0);
+  EXPECT_GT(tau + 1.0, budget / (8.0 * svrg_a_min(tau + 1.0)) - 2.0);
+}
+
+TEST(Bounds, SvrgUpperBoundIsStricterThanSarah) {
+  // Remark 1(5): SVRG requires a larger beta_min; equivalently its tau
+  // budget at a fixed beta is far smaller than SARAH's.
+  for (double beta : {10.0, 25.0, 60.0}) {
+    const auto svrg = tau_upper_svrg(beta);
+    ASSERT_TRUE(svrg.has_value());
+    EXPECT_LT(*svrg, tau_upper_sarah(beta)) << "beta = " << beta;
+  }
+}
+
+TEST(Bounds, TauUpperSvrgInfeasibleForTinyBeta) {
+  // With beta barely above zero there is no nonnegative feasible tau.
+  EXPECT_FALSE(tau_upper_svrg(1.0).has_value());
+}
+
+TEST(Bounds, ThetaSquaredSarahMatchesEq22) {
+  const auto pc = fig1_constants();
+  const double beta = 6.0, mu = 1.5;
+  const double mt = 1.0;
+  const double expected = 24.0 * (36.0 + 2.25) /
+                          (mt * 1.0 * (5 * 36.0 - 24.0) * 3.0);
+  EXPECT_NEAR(theta_squared_sarah(beta, mu, pc), expected, 1e-12);
+}
+
+TEST(Bounds, ThetaSquaredDecreasesInBeta) {
+  const auto pc = fig1_constants();
+  double prev = theta_squared_sarah(3.5, 1.0, pc);
+  for (double beta = 4.0; beta < 50.0; beta += 2.0) {
+    const double cur = theta_squared_sarah(beta, 1.0, pc);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Bounds, BetaMinSolvesEq15) {
+  const auto pc = fig1_constants();
+  const double theta = 0.3, mu = 1.5;
+  const auto beta = beta_min_sarah(theta, mu, pc);
+  ASSERT_TRUE(beta.has_value());
+  // At beta_min the lower and upper bounds coincide: theta^2(beta) = theta^2.
+  EXPECT_NEAR(theta_squared_sarah(*beta, mu, pc), theta * theta, 1e-6);
+  EXPECT_NEAR(tau_lower_bound(*beta, mu, theta, pc), tau_upper_sarah(*beta),
+              1e-3 * tau_upper_sarah(*beta));
+}
+
+TEST(Bounds, SmallerThetaNeedsLargerBetaMin) {
+  const auto pc = fig1_constants();
+  const auto loose = beta_min_sarah(0.5, 1.5, pc);
+  const auto tight = beta_min_sarah(0.1, 1.5, pc);
+  ASSERT_TRUE(loose && tight);
+  EXPECT_GT(*tight, *loose);
+}
+
+TEST(Bounds, FederatedFactorPositiveForGoodParameters) {
+  const auto pc = fig1_constants();
+  // Large mu, small theta: all negative terms are tamed.
+  EXPECT_GT(federated_factor(0.01, 50.0, pc), 0.0);
+}
+
+TEST(Bounds, FederatedFactorNegativeWhenThetaTooLarge) {
+  const auto pc = fig1_constants();
+  // Remark 2(1): theta must be below (2(1+sigma^2))^{-1/2} ~ 0.645.
+  EXPECT_LT(federated_factor(0.9, 50.0, pc), 0.0);
+}
+
+TEST(Bounds, FederatedFactorShrinksWithHeterogeneity) {
+  // Remark 2 / Fig. 1: larger sigma-bar^2 decreases Theta.
+  ProblemConstants low = fig1_constants();
+  ProblemConstants high = fig1_constants();
+  high.sigma_bar_sq = 0.8;
+  EXPECT_GT(federated_factor(0.05, 30.0, low),
+            federated_factor(0.05, 30.0, high));
+}
+
+TEST(Bounds, FederatedFactorRequiresMuAboveLambda) {
+  const auto pc = fig1_constants();
+  EXPECT_THROW((void)federated_factor(0.1, 0.0, pc), Error);
+  EXPECT_THROW((void)federated_factor(0.1, 0.4, pc), Error);
+}
+
+TEST(Bounds, GlobalRoundsScaleInverselyWithThetaAndEpsilon) {
+  // Corollary 1: T >= Delta / (Theta epsilon).
+  EXPECT_DOUBLE_EQ(global_rounds_needed(10.0, 0.5, 0.01), 2000.0);
+  EXPECT_THROW((void)global_rounds_needed(10.0, -0.5, 0.01), Error);
+  EXPECT_THROW((void)global_rounds_needed(10.0, 0.5, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::theory

@@ -1,0 +1,116 @@
+#include "theory/heterogeneity.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/models.h"
+#include "testing/quadratic_model.h"
+
+namespace fedvr::theory {
+namespace {
+
+using fedvr::testing::quadratic_dataset;
+using fedvr::testing::QuadraticModel;
+using fedvr::util::Rng;
+
+constexpr std::size_t kDim = 4;
+
+data::FederatedDataset quad_fed(double c0, double c1) {
+  data::FederatedDataset fed;
+  fed.train.push_back(quadratic_dataset(20, kDim, c0, 0.01, 1));
+  fed.train.push_back(quadratic_dataset(20, kDim, c1, 0.01, 2));
+  fed.test.push_back(quadratic_dataset(5, kDim, c0, 0.01, 3));
+  fed.test.push_back(quadratic_dataset(5, kDim, c1, 0.01, 4));
+  return fed;
+}
+
+TEST(Heterogeneity, IdenticalDevicesHaveNearZeroSigma) {
+  // Same distribution on both devices: gradients agree, sigma ~ 0 (up to
+  // the tiny 0.01 sampling spread).
+  const QuadraticModel model(kDim);
+  const auto fed = quad_fed(1.0, 1.0);
+  Rng rng(5);
+  const auto est = estimate_heterogeneity(model, fed, rng);
+  ASSERT_EQ(est.sigma_n.size(), 2u);
+  EXPECT_LT(est.sigma_bar_sq, 0.01);
+}
+
+TEST(Heterogeneity, DivergentDevicesHaveLargerSigma) {
+  const QuadraticModel model(kDim);
+  Rng r1(5), r2(5);
+  const auto same = estimate_heterogeneity(model, quad_fed(1.0, 1.0), r1);
+  const auto split = estimate_heterogeneity(model, quad_fed(-3.0, 3.0), r2);
+  EXPECT_GT(split.sigma_bar_sq, 10.0 * same.sigma_bar_sq);
+  EXPECT_GT(split.sigma_n[0], 0.1);
+  EXPECT_GT(split.sigma_n[1], 0.1);
+}
+
+TEST(Heterogeneity, QuadraticSigmaMatchesAnalyticRatio) {
+  // Two equal-size devices centered at +c/-c: grad F_n(w) = w -/+ c*1,
+  // grad F̄(w) = w. At probe w, ratio_n = ||c*1|| / ||w||; the estimator
+  // takes the max over probes, so it must be >= the ratio at the
+  // initialization probe and finite.
+  const QuadraticModel model(kDim);
+  const auto fed = quad_fed(-2.0, 2.0);
+  Rng rng(7);
+  HeterogeneityOptions opt;
+  opt.probes = 6;
+  const auto est = estimate_heterogeneity(model, fed, rng, opt);
+  // Device means are symmetric: the two sigmas are nearly equal.
+  EXPECT_NEAR(est.sigma_n[0], est.sigma_n[1], 0.2 * est.sigma_n[0]);
+  EXPECT_TRUE(std::isfinite(est.sigma_bar_sq));
+}
+
+TEST(Heterogeneity, SigmaBarIsWeightedMeanOfSquares) {
+  const QuadraticModel model(kDim);
+  data::FederatedDataset fed;
+  fed.train.push_back(quadratic_dataset(30, kDim, -1.0, 0.01, 1));
+  fed.train.push_back(quadratic_dataset(10, kDim, 3.0, 0.01, 2));
+  fed.test.push_back(quadratic_dataset(5, kDim, 0.0, 0.01, 3));
+  fed.test.push_back(quadratic_dataset(5, kDim, 0.0, 0.01, 4));
+  Rng rng(9);
+  const auto est = estimate_heterogeneity(model, fed, rng);
+  const double expected = 0.75 * est.sigma_n[0] * est.sigma_n[0] +
+                          0.25 * est.sigma_n[1] * est.sigma_n[1];
+  EXPECT_NEAR(est.sigma_bar_sq, expected, 1e-12);
+}
+
+TEST(Heterogeneity, SyntheticFederationBeatsIidSplit) {
+  // An IID split of one device's data must measure far less divergence
+  // than the Synthetic federation (whose devices draw their own models).
+  data::SyntheticConfig cfg;
+  cfg.num_devices = 6;
+  cfg.min_samples = 40;
+  cfg.max_samples = 80;
+  cfg.seed = 11;
+  const auto heterogeneous = data::make_synthetic(cfg);
+
+  // IID federation: slices of a single device's local dataset.
+  const auto pool = data::make_synthetic_device(cfg, 0, 240);
+  data::FederatedDataset iid;
+  for (std::size_t k = 0; k < 6; ++k) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = k; i < pool.size(); i += 6) idx.push_back(i);
+    iid.train.push_back(pool.subset(idx));
+    iid.test.push_back(pool.subset(std::vector<std::size_t>{k}));
+  }
+
+  const auto model = nn::make_logistic_regression(60, 10);
+  Rng r1(13), r2(13);
+  const auto low = estimate_heterogeneity(*model, iid, r1);
+  const auto high = estimate_heterogeneity(*model, heterogeneous, r2);
+  EXPECT_GT(high.sigma_bar_sq, 2.0 * low.sigma_bar_sq);
+}
+
+TEST(Heterogeneity, DeterministicInRngState) {
+  const QuadraticModel model(kDim);
+  const auto fed = quad_fed(0.0, 1.0);
+  Rng r1(17), r2(17);
+  const auto a = estimate_heterogeneity(model, fed, r1);
+  const auto b = estimate_heterogeneity(model, fed, r2);
+  EXPECT_EQ(a.sigma_n, b.sigma_n);
+  EXPECT_DOUBLE_EQ(a.sigma_bar_sq, b.sigma_bar_sq);
+}
+
+}  // namespace
+}  // namespace fedvr::theory

@@ -1,0 +1,101 @@
+// Parameterized monotonicity sweeps over the Lemma-1 / Theorem-1 formulas:
+// the qualitative Remarks hold across a grid of problem constants, not
+// just at single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "theory/bounds.h"
+
+namespace fedvr::theory {
+namespace {
+
+using Constants = std::tuple<double, double, double>;  // L, lambda, sigma2
+
+class TheoryMonotonicity : public ::testing::TestWithParam<Constants> {
+ protected:
+  ProblemConstants pc() const {
+    const auto [L, lambda, sigma2] = GetParam();
+    return ProblemConstants{.L = L,
+                            .lambda = lambda,
+                            .sigma_bar_sq = sigma2};
+  }
+};
+
+TEST_P(TheoryMonotonicity, TauLowerDecreasesInTheta) {
+  // Remark 1(2): smaller theta demands more local iterations.
+  const auto constants = pc();
+  const double mu = 4.0 * constants.lambda + 1.0;
+  double prev = tau_lower_bound(8.0, mu, 0.05, constants);
+  for (double theta : {0.1, 0.2, 0.4, 0.8}) {
+    const double cur = tau_lower_bound(8.0, mu, theta, constants);
+    EXPECT_LT(cur, prev) << "theta = " << theta;
+    prev = cur;
+  }
+}
+
+TEST_P(TheoryMonotonicity, TauLowerDecreasesInBetaLargeBeta) {
+  // For beta well above 3 the lower bound behaves like beta/theta^2
+  // divided by (beta - 3) * ... — decreasing then flattening; check the
+  // decreasing regime just above 3.
+  const auto constants = pc();
+  const double mu = 4.0 * constants.lambda + 1.0;
+  EXPECT_GT(tau_lower_bound(3.5, mu, 0.3, constants),
+            tau_lower_bound(6.0, mu, 0.3, constants));
+}
+
+TEST_P(TheoryMonotonicity, SarahUpperGrowsQuadratically) {
+  EXPECT_NEAR(tau_upper_sarah(20.0) / tau_upper_sarah(10.0), 4.0, 0.3);
+}
+
+TEST_P(TheoryMonotonicity, SvrgBudgetBelowSarahEverywhere) {
+  for (double beta : {8.0, 15.0, 40.0, 100.0}) {
+    const auto svrg = tau_upper_svrg(beta);
+    if (svrg) {
+      EXPECT_LT(*svrg, tau_upper_sarah(beta)) << "beta = " << beta;
+    }
+  }
+}
+
+TEST_P(TheoryMonotonicity, FederatedFactorDecreasesInTheta) {
+  const auto constants = pc();
+  const double mu = 30.0 * (constants.lambda + constants.L);
+  double prev = federated_factor(0.01, mu, constants);
+  for (double theta : {0.05, 0.1, 0.2}) {
+    const double cur = federated_factor(theta, mu, constants);
+    EXPECT_LT(cur, prev) << "theta = " << theta;
+    prev = cur;
+  }
+}
+
+TEST_P(TheoryMonotonicity, FederatedFactorHasInteriorMuOptimum) {
+  // Remark 2(2): mu must be large enough for Theta > 0 but not so large
+  // that Theta ~ 1/mu collapses. Scan mu and require a rise-then-fall
+  // shape once positive.
+  const auto constants = pc();
+  double best = -1e300;
+  double best_mu = 0.0;
+  const double mu_lo = 2.0 * (constants.lambda + constants.L);
+  for (double mu = mu_lo; mu < 2000.0 * mu_lo; mu *= 1.3) {
+    const double theta_val = 0.05;
+    const double f = federated_factor(theta_val, mu, constants);
+    if (f > best) {
+      best = f;
+      best_mu = mu;
+    }
+  }
+  ASSERT_GT(best, 0.0);
+  // The optimum is interior: far larger mu gives a strictly smaller Theta.
+  EXPECT_LT(federated_factor(0.05, 5000.0 * best_mu, constants), best);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstantGrid, TheoryMonotonicity,
+    ::testing::Values(Constants{1.0, 0.5, 0.2},   // Fig. 1's setting
+                      Constants{1.0, 0.5, 0.8},   // high heterogeneity
+                      Constants{5.0, 1.0, 0.5},   // rougher loss
+                      Constants{0.5, 0.1, 0.1})); // smooth, mild
+
+}  // namespace
+}  // namespace fedvr::theory

@@ -1,0 +1,89 @@
+#include "theory/smoothness.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "testing/quadratic_model.h"
+#include "util/error.h"
+
+namespace fedvr::theory {
+namespace {
+
+using fedvr::testing::quadratic_dataset;
+using fedvr::testing::QuadraticModel;
+using fedvr::util::Rng;
+
+TEST(Smoothness, QuadraticModelHasUnitCurvature) {
+  // f_i(w) = 0.5||w - x_i||^2 has Hessian = I exactly: L = 1.
+  const QuadraticModel model(6);
+  const auto ds = quadratic_dataset(20, 6, 0.0, 1.0, 5);
+  Rng rng(1);
+  std::vector<double> w(6, 0.3);
+  const double L = estimate_smoothness(model, ds, w, rng);
+  EXPECT_NEAR(L, 1.0, 1e-5);
+}
+
+TEST(Smoothness, ScalesWithLossScaling) {
+  // Estimating on 3x the data values does not change curvature of the
+  // quadratic (Hessian is I regardless of x), so instead scale via L2:
+  // logistic regression with l2 = c shifts the Hessian by +c I.
+  const auto plain = nn::make_logistic_regression(5, 3, 0.0);
+  const auto ridged = nn::make_logistic_regression(5, 3, 2.0);
+  data::Dataset ds(tensor::Shape({5}), 40, 3);
+  Rng data_rng(7);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (auto& v : ds.mutable_sample(i)) v = data_rng.normal();
+    ds.set_label(i, static_cast<int>(data_rng.below(3)));
+  }
+  Rng rng(3);
+  std::vector<double> w(plain->num_parameters(), 0.0);
+  Rng r1(11), r2(11);
+  const double L_plain = estimate_smoothness(*plain, ds, w, r1);
+  const double L_ridged = estimate_smoothness(*ridged, ds, w, r2);
+  EXPECT_NEAR(L_ridged - L_plain, 2.0, 0.05);
+}
+
+TEST(Smoothness, LogisticRegressionCurvatureIsBoundedByGram) {
+  // CE-softmax Hessian satisfies H <= 0.5 * lambda_max(X^T X / n) (in the
+  // 2-class case 0.25); use the loose 1.0x bound as a sanity envelope.
+  const auto model = nn::make_logistic_regression(4, 2);
+  data::Dataset ds(tensor::Shape({4}), 60, 2);
+  Rng data_rng(13);
+  double max_row_sq = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    double row_sq = 0.0;
+    for (auto& v : ds.mutable_sample(i)) {
+      v = data_rng.normal();
+      row_sq += v * v;
+    }
+    max_row_sq = std::max(max_row_sq, row_sq);
+    ds.set_label(i, static_cast<int>(data_rng.below(2)));
+  }
+  Rng rng(17);
+  std::vector<double> w(model->num_parameters(), 0.0);
+  const double L = estimate_smoothness(*model, ds, w, rng);
+  EXPECT_GT(L, 0.0);
+  EXPECT_LT(L, max_row_sq);  // generous upper envelope
+}
+
+TEST(Smoothness, DeterministicInRngState) {
+  const QuadraticModel model(4);
+  const auto ds = quadratic_dataset(10, 4, 1.0, 1.0, 19);
+  std::vector<double> w(4, 0.0);
+  Rng r1(23), r2(23);
+  EXPECT_DOUBLE_EQ(estimate_smoothness(model, ds, w, r1),
+                   estimate_smoothness(model, ds, w, r2));
+}
+
+TEST(Smoothness, SubsamplesLargeDatasets) {
+  const QuadraticModel model(3);
+  const auto ds = quadratic_dataset(2000, 3, 0.0, 1.0, 29);
+  SmoothnessOptions opt;
+  opt.max_samples = 50;  // force the subsampling path
+  Rng rng(31);
+  std::vector<double> w(3, 0.0);
+  EXPECT_NEAR(estimate_smoothness(model, ds, w, rng, opt), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace fedvr::theory

@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace fedvr::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "fedvr_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path("a.csv"), {"round", "loss"});
+    w.row({"1", "0.5"});
+    w.row({"2", "0.25"});
+  }
+  EXPECT_EQ(slurp(path("a.csv")), "round,loss\n1,0.5\n2,0.25\n");
+}
+
+TEST_F(CsvTest, RowBuilderFormatsNumbers) {
+  {
+    CsvWriter w(path("b.csv"), {"name", "x", "n"});
+    w.builder().add("svrg").add(0.125).add(std::size_t{42}).commit();
+  }
+  EXPECT_EQ(slurp(path("b.csv")), "name,x,n\nsvrg,0.125,42\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path("c.csv"), {"v"});
+    w.row({"a,b"});
+    w.row({"say \"hi\""});
+    w.row({"line\nbreak"});
+  }
+  EXPECT_EQ(slurp(path("c.csv")),
+            "v\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line\nbreak\"\n");
+}
+
+TEST_F(CsvTest, WrongCellCountThrows) {
+  CsvWriter w(path("d.csv"), {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), Error);
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/f.csv", {"a"}), Error);
+}
+
+TEST_F(CsvTest, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter(path("e.csv"), {}), Error);
+}
+
+TEST_F(CsvTest, EnsureResultsDirCreatesNestedDirs) {
+  const auto nested = (dir_ / "x" / "y").string();
+  EXPECT_EQ(ensure_results_dir(nested), nested);
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  // Idempotent.
+  EXPECT_EQ(ensure_results_dir(nested), nested);
+}
+
+}  // namespace
+}  // namespace fedvr::util

@@ -1,0 +1,63 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fedvr::util {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(FEDVR_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithExpression) {
+  try {
+    FEDVR_CHECK(2 > 3);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageVariantCarriesContext) {
+  const int n = -4;
+  try {
+    FEDVR_CHECK_MSG(n >= 0, "device count " << n << " is negative");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("device count -4 is negative"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageNotEvaluatedWhenCheckPasses) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "ctx";
+  };
+  FEDVR_CHECK_MSG(true, count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, WorksInsideIfWithoutBraces) {
+  // Guards against the classic dangling-else macro bug.
+  bool executed_else = false;
+  if (false)
+    FEDVR_CHECK(true);
+  else
+    executed_else = true;
+  EXPECT_TRUE(executed_else);
+}
+
+TEST(ErrorType, IsARuntimeError) {
+  const Error e("msg");
+  const std::runtime_error& base = e;
+  EXPECT_STREQ(base.what(), "msg");
+}
+
+}  // namespace
+}  // namespace fedvr::util

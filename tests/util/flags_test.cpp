@@ -1,0 +1,139 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedvr::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Flags, ParsesEqualsSyntax) {
+  Flags flags("t", "test");
+  int rounds = 10;
+  double lr = 0.1;
+  flags.add("rounds", &rounds, "rounds");
+  flags.add("lr", &lr, "learning rate");
+  auto argv = argv_of({"--rounds=25", "--lr=0.05"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(rounds, 25);
+  EXPECT_DOUBLE_EQ(lr, 0.05);
+}
+
+TEST(Flags, ParsesSpaceSyntax) {
+  Flags flags("t", "test");
+  std::string name = "default";
+  flags.add("name", &name, "name");
+  auto argv = argv_of({"--name", "synthetic"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(name, "synthetic");
+}
+
+TEST(Flags, BoolFlagWithoutValueIsTrue) {
+  Flags flags("t", "test");
+  bool verbose = false;
+  flags.add("verbose", &verbose, "verbosity");
+  auto argv = argv_of({"--verbose"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Flags, BoolFlagExplicitFalse) {
+  Flags flags("t", "test");
+  bool verbose = true;
+  flags.add("verbose", &verbose, "verbosity");
+  auto argv = argv_of({"--verbose=false"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(verbose);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags("t", "test");
+  int x = 0;
+  flags.add("x", &x, "x");
+  auto argv = argv_of({"--y=3"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               Error);
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  Flags flags("t", "test");
+  int x = 0;
+  flags.add("x", &x, "x");
+  auto argv = argv_of({"--x=abc"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               Error);
+}
+
+TEST(Flags, TrailingNumberGarbageThrows) {
+  Flags flags("t", "test");
+  double x = 0;
+  flags.add("x", &x, "x");
+  auto argv = argv_of({"--x=1.5zzz"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               Error);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags flags("t", "test");
+  int x = 0;
+  flags.add("x", &x, "x");
+  auto argv = argv_of({"--x"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               Error);
+}
+
+TEST(Flags, PositionalArgumentThrows) {
+  Flags flags("t", "test");
+  auto argv = argv_of({"stray"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               Error);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  Flags flags("t", "test");
+  int a = 0, b = 0;
+  flags.add("x", &a, "first");
+  EXPECT_THROW(flags.add("x", &b, "second"), Error);
+}
+
+TEST(Flags, UsageListsFlagsAndDefaults) {
+  Flags flags("prog", "does things");
+  int rounds = 100;
+  flags.add("rounds", &rounds, "global rounds");
+  const std::string u = flags.usage();
+  EXPECT_NE(u.find("--rounds"), std::string::npos);
+  EXPECT_NE(u.find("100"), std::string::npos);
+  EXPECT_NE(u.find("does things"), std::string::npos);
+}
+
+TEST(Flags, SizeTypeAndInt64Flags) {
+  Flags flags("t", "test");
+  std::size_t devices = 10;
+  std::int64_t seed = -1;
+  flags.add("devices", &devices, "device count");
+  flags.add("seed", &seed, "seed");
+  auto argv = argv_of({"--devices=100", "--seed", "-42"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(devices, 100u);
+  EXPECT_EQ(seed, -42);
+}
+
+TEST(Flags, NoArgsLeavesDefaults) {
+  Flags flags("t", "test");
+  int x = 5;
+  flags.add("x", &x, "x");
+  auto argv = argv_of({});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(x, 5);
+}
+
+}  // namespace
+}  // namespace fedvr::util

@@ -1,0 +1,57 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace fedvr::util {
+namespace {
+
+// Restores the global level after each test so suites don't interfere.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, FilteredMessagesDoNotEvaluateOperands) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  FEDVR_LOG_DEBUG << count();
+  FEDVR_LOG_INFO << count();
+  FEDVR_LOG_WARN << count();
+  EXPECT_EQ(evaluations, 0);
+  FEDVR_LOG_ERROR << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, MacroIsDanglingElseSafe) {
+  set_log_level(LogLevel::kError);
+  bool else_taken = false;
+  if (false)
+    FEDVR_LOG_INFO << "never";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+}
+
+TEST_F(LogTest, EmittingDoesNotThrow) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(FEDVR_LOG_DEBUG << "debug " << 1);
+  EXPECT_NO_THROW(FEDVR_LOG_INFO << "info " << 2.5);
+  EXPECT_NO_THROW(FEDVR_LOG_WARN << "warn " << 'c');
+  EXPECT_NO_THROW(FEDVR_LOG_ERROR << "error");
+}
+
+}  // namespace
+}  // namespace fedvr::util

@@ -1,0 +1,218 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace fedvr::util {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  (void)a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 1.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 1.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCloseToHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.below(0), Error);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.below(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit in 1000 draws
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 2.0), 0.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> xs(100);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto copy = xs;
+  rng.shuffle(std::span<int>(copy));
+  EXPECT_NE(copy, xs);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, xs);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndSorted) {
+  Rng rng(31);
+  const auto s = rng.sample_without_replacement(50, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    EXPECT_LT(s[i], s[i + 1]);
+  }
+  for (auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(37);
+  const auto s = rng.sample_without_replacement(5, 5);
+  ASSERT_EQ(s.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementTooManyThrows) {
+  Rng rng(37);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(41);
+  const std::vector<double> w = {0.0, 3.0, 1.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.categorical(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.25, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(43);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW((void)rng.categorical(zero), Error);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW((void)rng.categorical(negative), Error);
+  EXPECT_THROW((void)rng.categorical({}), Error);
+}
+
+TEST(Fork, SameCoordinatesSameStream) {
+  Rng a = fork(99, 1, 2, 3);
+  Rng b = fork(99, 1, 2, 3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Fork, DifferentCoordinatesIndependentStreams) {
+  Rng a = fork(99, 1, 2, 3);
+  Rng b = fork(99, 1, 2, 4);
+  Rng c = fork(99, 2, 2, 3);
+  Rng d = fork(100, 1, 2, 3);
+  int collisions = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto va = a();
+    collisions += (va == b()) + (va == c()) + (va == d());
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Fork, CoordinateOrderMatters) {
+  Rng a = fork(7, 1, 2);
+  Rng b = fork(7, 2, 1);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Splitmix, KnownGoodValues) {
+  // Reference values for seed 0 (widely published SplitMix64 test vector).
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(s), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06C45D188009454FULL);
+}
+
+}  // namespace
+}  // namespace fedvr::util

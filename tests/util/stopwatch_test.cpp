@@ -1,0 +1,35 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace fedvr::util {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = sw.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(sw.milliseconds(), sw.seconds() * 1e3,
+              sw.seconds() * 1e3 * 0.5);
+}
+
+TEST(Stopwatch, IsMonotonic) {
+  Stopwatch sw;
+  const double a = sw.seconds();
+  const double b = sw.seconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, ResetRestartsFromZero) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace fedvr::util

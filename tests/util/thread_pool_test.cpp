@@ -1,0 +1,121 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fedvr::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { counter++; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffset) {
+  ThreadPool pool(2);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(3, 7, [&hits](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 3 && i < 7) ? 1 : 0);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&calls](std::size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, InvertedRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 4, [](std::size_t) {}), Error);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 50) {
+                                     throw std::runtime_error("bad index");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, hits.size(), [&hits](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ParallelFor, LargeGrainFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i]++; },
+                    /*grain=*/100);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  auto f = ThreadPool::global().submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&counter] { counter++; });
+    }
+  }  // destructor must wait for all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace fedvr::util
