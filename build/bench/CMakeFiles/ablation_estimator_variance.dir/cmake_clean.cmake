@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimator_variance.dir/ablation_estimator_variance.cpp.o"
+  "CMakeFiles/ablation_estimator_variance.dir/ablation_estimator_variance.cpp.o.d"
+  "ablation_estimator_variance"
+  "ablation_estimator_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimator_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

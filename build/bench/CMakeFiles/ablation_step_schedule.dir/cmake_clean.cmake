@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_step_schedule.dir/ablation_step_schedule.cpp.o"
+  "CMakeFiles/ablation_step_schedule.dir/ablation_step_schedule.cpp.o.d"
+  "ablation_step_schedule"
+  "ablation_step_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_step_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

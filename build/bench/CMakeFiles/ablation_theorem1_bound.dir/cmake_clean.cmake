@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_theorem1_bound.dir/ablation_theorem1_bound.cpp.o"
+  "CMakeFiles/ablation_theorem1_bound.dir/ablation_theorem1_bound.cpp.o.d"
+  "ablation_theorem1_bound"
+  "ablation_theorem1_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_theorem1_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_common.a"
+  "../lib/libbench_common.pdb"
+  "CMakeFiles/bench_common.dir/common/ascii_chart.cpp.o"
+  "CMakeFiles/bench_common.dir/common/ascii_chart.cpp.o.d"
+  "CMakeFiles/bench_common.dir/common/experiment_util.cpp.o"
+  "CMakeFiles/bench_common.dir/common/experiment_util.cpp.o.d"
+  "CMakeFiles/bench_common.dir/common/random_search.cpp.o"
+  "CMakeFiles/bench_common.dir/common/random_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_param_opt.dir/fig1_param_opt.cpp.o"
+  "CMakeFiles/fig1_param_opt.dir/fig1_param_opt.cpp.o.d"
+  "fig1_param_opt"
+  "fig1_param_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_param_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

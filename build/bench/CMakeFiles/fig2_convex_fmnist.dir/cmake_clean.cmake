@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_convex_fmnist.dir/fig2_convex_fmnist.cpp.o"
+  "CMakeFiles/fig2_convex_fmnist.dir/fig2_convex_fmnist.cpp.o.d"
+  "fig2_convex_fmnist"
+  "fig2_convex_fmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_convex_fmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

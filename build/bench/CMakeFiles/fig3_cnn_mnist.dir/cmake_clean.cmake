@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cnn_mnist.dir/fig3_cnn_mnist.cpp.o"
+  "CMakeFiles/fig3_cnn_mnist.dir/fig3_cnn_mnist.cpp.o.d"
+  "fig3_cnn_mnist"
+  "fig3_cnn_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cnn_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

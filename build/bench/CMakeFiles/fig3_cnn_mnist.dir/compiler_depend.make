@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_cnn_mnist.
+# This may be replaced when dependencies are built.

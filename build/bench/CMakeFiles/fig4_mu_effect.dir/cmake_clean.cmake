@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mu_effect.dir/fig4_mu_effect.cpp.o"
+  "CMakeFiles/fig4_mu_effect.dir/fig4_mu_effect.cpp.o.d"
+  "fig4_mu_effect"
+  "fig4_mu_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mu_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_convex_search.dir/table1_convex_search.cpp.o"
+  "CMakeFiles/table1_convex_search.dir/table1_convex_search.cpp.o.d"
+  "table1_convex_search"
+  "table1_convex_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_convex_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

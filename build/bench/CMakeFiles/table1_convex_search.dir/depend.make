@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_convex_search.
+# This may be replaced when dependencies are built.

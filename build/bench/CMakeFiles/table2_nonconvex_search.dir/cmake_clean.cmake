@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nonconvex_search.dir/table2_nonconvex_search.cpp.o"
+  "CMakeFiles/table2_nonconvex_search.dir/table2_nonconvex_search.cpp.o.d"
+  "table2_nonconvex_search"
+  "table2_nonconvex_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nonconvex_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

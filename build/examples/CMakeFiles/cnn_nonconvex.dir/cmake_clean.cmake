@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_nonconvex.dir/cnn_nonconvex.cpp.o"
+  "CMakeFiles/cnn_nonconvex.dir/cnn_nonconvex.cpp.o.d"
+  "cnn_nonconvex"
+  "cnn_nonconvex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_nonconvex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_planner.dir/param_planner.cpp.o"
+  "CMakeFiles/param_planner.dir/param_planner.cpp.o.d"
+  "param_planner"
+  "param_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

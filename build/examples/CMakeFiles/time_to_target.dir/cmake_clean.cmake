@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_to_target.dir/time_to_target.cpp.o"
+  "CMakeFiles/time_to_target.dir/time_to_target.cpp.o.d"
+  "time_to_target"
+  "time_to_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_to_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/fedvr_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/fedvr_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/fedproxvr.cpp" "src/core/CMakeFiles/fedvr_core.dir/fedproxvr.cpp.o" "gcc" "src/core/CMakeFiles/fedvr_core.dir/fedproxvr.cpp.o.d"
+  "/root/repo/src/core/heterogeneous.cpp" "src/core/CMakeFiles/fedvr_core.dir/heterogeneous.cpp.o" "gcc" "src/core/CMakeFiles/fedvr_core.dir/heterogeneous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/fedvr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fedvr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedvr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedvr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedvr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedvr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_core.dir/algorithms.cpp.o"
+  "CMakeFiles/fedvr_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fedvr_core.dir/fedproxvr.cpp.o"
+  "CMakeFiles/fedvr_core.dir/fedproxvr.cpp.o.d"
+  "CMakeFiles/fedvr_core.dir/heterogeneous.cpp.o"
+  "CMakeFiles/fedvr_core.dir/heterogeneous.cpp.o.d"
+  "libfedvr_core.a"
+  "libfedvr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

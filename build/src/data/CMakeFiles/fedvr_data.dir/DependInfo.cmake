@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/fedvr_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/fedvr_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/federated_split.cpp" "src/data/CMakeFiles/fedvr_data.dir/federated_split.cpp.o" "gcc" "src/data/CMakeFiles/fedvr_data.dir/federated_split.cpp.o.d"
+  "/root/repo/src/data/idx_loader.cpp" "src/data/CMakeFiles/fedvr_data.dir/idx_loader.cpp.o" "gcc" "src/data/CMakeFiles/fedvr_data.dir/idx_loader.cpp.o.d"
+  "/root/repo/src/data/image_datasets.cpp" "src/data/CMakeFiles/fedvr_data.dir/image_datasets.cpp.o" "gcc" "src/data/CMakeFiles/fedvr_data.dir/image_datasets.cpp.o.d"
+  "/root/repo/src/data/procedural_images.cpp" "src/data/CMakeFiles/fedvr_data.dir/procedural_images.cpp.o" "gcc" "src/data/CMakeFiles/fedvr_data.dir/procedural_images.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/fedvr_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/fedvr_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedvr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedvr_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedvr_data.dir/federated_split.cpp.o"
+  "CMakeFiles/fedvr_data.dir/federated_split.cpp.o.d"
+  "CMakeFiles/fedvr_data.dir/idx_loader.cpp.o"
+  "CMakeFiles/fedvr_data.dir/idx_loader.cpp.o.d"
+  "CMakeFiles/fedvr_data.dir/image_datasets.cpp.o"
+  "CMakeFiles/fedvr_data.dir/image_datasets.cpp.o.d"
+  "CMakeFiles/fedvr_data.dir/procedural_images.cpp.o"
+  "CMakeFiles/fedvr_data.dir/procedural_images.cpp.o.d"
+  "CMakeFiles/fedvr_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedvr_data.dir/synthetic.cpp.o.d"
+  "libfedvr_data.a"
+  "libfedvr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_fl.dir/compression.cpp.o"
+  "CMakeFiles/fedvr_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/fedvr_fl.dir/metrics.cpp.o"
+  "CMakeFiles/fedvr_fl.dir/metrics.cpp.o.d"
+  "CMakeFiles/fedvr_fl.dir/trainer.cpp.o"
+  "CMakeFiles/fedvr_fl.dir/trainer.cpp.o.d"
+  "libfedvr_fl.a"
+  "libfedvr_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/feedforward.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/feedforward.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/feedforward.cpp.o.d"
+  "/root/repo/src/nn/linear_models.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/linear_models.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/linear_models.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/fedvr_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/fedvr_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedvr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedvr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_nn.dir/activation.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/dense.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/feedforward.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/feedforward.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/linear_models.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/linear_models.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/model.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/model.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/models.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/models.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/pool.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/fedvr_nn.dir/sequential.cpp.o"
+  "CMakeFiles/fedvr_nn.dir/sequential.cpp.o.d"
+  "libfedvr_nn.a"
+  "libfedvr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

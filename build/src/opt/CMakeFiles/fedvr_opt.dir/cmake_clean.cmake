@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_opt.dir/local_solver.cpp.o"
+  "CMakeFiles/fedvr_opt.dir/local_solver.cpp.o.d"
+  "libfedvr_opt.a"
+  "libfedvr_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

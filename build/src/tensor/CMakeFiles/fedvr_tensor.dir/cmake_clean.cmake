@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/fedvr_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/fedvr_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/fedvr_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/fedvr_tensor.dir/random_init.cpp.o"
+  "CMakeFiles/fedvr_tensor.dir/random_init.cpp.o.d"
+  "CMakeFiles/fedvr_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fedvr_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/fedvr_tensor.dir/vecops.cpp.o"
+  "CMakeFiles/fedvr_tensor.dir/vecops.cpp.o.d"
+  "libfedvr_tensor.a"
+  "libfedvr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_theory.dir/bounds.cpp.o"
+  "CMakeFiles/fedvr_theory.dir/bounds.cpp.o.d"
+  "CMakeFiles/fedvr_theory.dir/heterogeneity.cpp.o"
+  "CMakeFiles/fedvr_theory.dir/heterogeneity.cpp.o.d"
+  "CMakeFiles/fedvr_theory.dir/param_opt.cpp.o"
+  "CMakeFiles/fedvr_theory.dir/param_opt.cpp.o.d"
+  "CMakeFiles/fedvr_theory.dir/smoothness.cpp.o"
+  "CMakeFiles/fedvr_theory.dir/smoothness.cpp.o.d"
+  "libfedvr_theory.a"
+  "libfedvr_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedvr_theory.a"
+)

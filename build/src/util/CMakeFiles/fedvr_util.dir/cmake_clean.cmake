@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedvr_util.dir/csv.cpp.o"
+  "CMakeFiles/fedvr_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fedvr_util.dir/flags.cpp.o"
+  "CMakeFiles/fedvr_util.dir/flags.cpp.o.d"
+  "CMakeFiles/fedvr_util.dir/log.cpp.o"
+  "CMakeFiles/fedvr_util.dir/log.cpp.o.d"
+  "CMakeFiles/fedvr_util.dir/rng.cpp.o"
+  "CMakeFiles/fedvr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fedvr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedvr_util.dir/thread_pool.cpp.o.d"
+  "libfedvr_util.a"
+  "libfedvr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedvr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

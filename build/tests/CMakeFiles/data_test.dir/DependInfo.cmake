@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/data_test.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/federated_split_test.cpp" "tests/CMakeFiles/data_test.dir/data/federated_split_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/federated_split_test.cpp.o.d"
+  "/root/repo/tests/data/idx_loader_test.cpp" "tests/CMakeFiles/data_test.dir/data/idx_loader_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/idx_loader_test.cpp.o.d"
+  "/root/repo/tests/data/image_datasets_test.cpp" "tests/CMakeFiles/data_test.dir/data/image_datasets_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/image_datasets_test.cpp.o.d"
+  "/root/repo/tests/data/procedural_images_test.cpp" "tests/CMakeFiles/data_test.dir/data/procedural_images_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/procedural_images_test.cpp.o.d"
+  "/root/repo/tests/data/procedural_sweep_test.cpp" "tests/CMakeFiles/data_test.dir/data/procedural_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/procedural_sweep_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/data_test.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/data_test.dir/data/synthetic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fedvr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedvr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

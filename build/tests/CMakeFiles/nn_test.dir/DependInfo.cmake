@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/checkpoint_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/linear_models_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/linear_models_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/linear_models_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/mlp_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/mlp_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/mlp_test.cpp.o.d"
+  "/root/repo/tests/nn/model_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/model_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/model_test.cpp.o.d"
+  "/root/repo/tests/nn/sequential_reuse_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/sequential_reuse_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/sequential_reuse_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fedvr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/fedvr_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedvr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedvr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/theory/bounds_test.cpp" "tests/CMakeFiles/theory_test.dir/theory/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/theory_test.dir/theory/bounds_test.cpp.o.d"
+  "/root/repo/tests/theory/heterogeneity_test.cpp" "tests/CMakeFiles/theory_test.dir/theory/heterogeneity_test.cpp.o" "gcc" "tests/CMakeFiles/theory_test.dir/theory/heterogeneity_test.cpp.o.d"
+  "/root/repo/tests/theory/monotonicity_test.cpp" "tests/CMakeFiles/theory_test.dir/theory/monotonicity_test.cpp.o" "gcc" "tests/CMakeFiles/theory_test.dir/theory/monotonicity_test.cpp.o.d"
+  "/root/repo/tests/theory/param_opt_test.cpp" "tests/CMakeFiles/theory_test.dir/theory/param_opt_test.cpp.o" "gcc" "tests/CMakeFiles/theory_test.dir/theory/param_opt_test.cpp.o.d"
+  "/root/repo/tests/theory/smoothness_test.cpp" "tests/CMakeFiles/theory_test.dir/theory/smoothness_test.cpp.o" "gcc" "tests/CMakeFiles/theory_test.dir/theory/smoothness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/fedvr_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedvr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedvr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedvr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fedvr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

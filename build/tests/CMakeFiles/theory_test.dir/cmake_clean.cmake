@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_test.dir/theory/bounds_test.cpp.o"
+  "CMakeFiles/theory_test.dir/theory/bounds_test.cpp.o.d"
+  "CMakeFiles/theory_test.dir/theory/heterogeneity_test.cpp.o"
+  "CMakeFiles/theory_test.dir/theory/heterogeneity_test.cpp.o.d"
+  "CMakeFiles/theory_test.dir/theory/monotonicity_test.cpp.o"
+  "CMakeFiles/theory_test.dir/theory/monotonicity_test.cpp.o.d"
+  "CMakeFiles/theory_test.dir/theory/param_opt_test.cpp.o"
+  "CMakeFiles/theory_test.dir/theory/param_opt_test.cpp.o.d"
+  "CMakeFiles/theory_test.dir/theory/smoothness_test.cpp.o"
+  "CMakeFiles/theory_test.dir/theory/smoothness_test.cpp.o.d"
+  "theory_test"
+  "theory_test.pdb"
+  "theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
