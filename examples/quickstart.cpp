@@ -3,10 +3,16 @@
 //
 //   ./build/examples/quickstart [--rounds 30] [--devices 20] [--tau 20]
 //                               [--mu 0.1] [--beta 5] [--batch 8]
+//                               [--trace trace.json]
+//                               [--obs-metrics metrics.jsonl]
 //
 // Walks through the whole public API: generate federated data, build a
 // model, estimate the smoothness constant, pick hyperparameters, run, and
-// inspect the trace.
+// inspect the trace. Passing --trace or --obs-metrics turns on the
+// fedvr::obs profiler: the run exports a Chrome trace_event file (load it
+// in chrome://tracing or https://ui.perfetto.dev) plus a metrics JSONL
+// snapshot, and prints the measured per-round delays next to the analytic
+// eq. 19 model.
 #include <cstdio>
 
 #include "core/fedproxvr.h"
@@ -21,6 +27,7 @@ int main(int argc, char** argv) {
   std::size_t rounds = 30, devices = 20, tau = 20, batch = 8;
   double mu = 0.1, beta = 5.0;
   std::uint64_t seed = 1;
+  std::string trace_path, metrics_path;
   util::Flags flags("quickstart", "FedProxVR(SARAH) on Synthetic(1,1)");
   flags.add("rounds", &rounds, "global rounds T");
   flags.add("devices", &devices, "number of devices N");
@@ -29,6 +36,8 @@ int main(int argc, char** argv) {
   flags.add("beta", &beta, "step parameter (eta = 1/(beta L))");
   flags.add("batch", &batch, "mini-batch size B");
   flags.add("seed", &seed, "master seed");
+  flags.add("trace", &trace_path, "write a Chrome trace_event JSON here");
+  flags.add("obs-metrics", &metrics_path, "write a metrics JSONL here");
   flags.parse(argc, argv);
 
   // 1. Federated data: power-law device sizes, per-device train/test split.
@@ -64,6 +73,11 @@ int main(int argc, char** argv) {
   fl::TrainerOptions run_cfg;
   run_cfg.rounds = rounds;
   run_cfg.seed = seed;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    run_cfg.observability.enabled = true;
+    run_cfg.observability.chrome_trace_path = trace_path;
+    run_cfg.observability.metrics_jsonl_path = metrics_path;
+  }
   const fl::TrainingTrace trace =
       core::run_federated(model, fed, core::fedproxvr_sarah(hp), run_cfg);
 
@@ -78,5 +92,24 @@ int main(int argc, char** argv) {
   const auto [best_acc, best_round] = trace.best_accuracy();
   std::printf("\nbest test accuracy %.2f%% at round %zu\n", 100.0 * best_acc,
               best_round);
+
+  // 6. If profiling was on, compare the measured per-round delays with the
+  // analytic eq. 19 model the trainer charges to model_time.
+  if (trace.measured_timing) {
+    const fl::MeasuredTiming& m = *trace.measured_timing;
+    const fl::TimingModel& a = run_cfg.timing;
+    std::printf("\neq. 19 round time  T_round = d_com + d_cmp * tau\n");
+    std::printf("  analytic: d_com = %.4g s, d_cmp = %.4g s  =>  %.4g s\n",
+                a.d_com, a.d_cmp, a.round_time(tau));
+    std::printf("  measured: d_com = %.4g s, d_cmp = %.4g s  =>  %.4g s\n",
+                m.d_com, m.d_cmp, m.round_time(tau));
+    if (!trace_path.empty()) {
+      std::printf("Chrome trace written to %s (open in chrome://tracing)\n",
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    }
+  }
   return 0;
 }

@@ -60,9 +60,14 @@ void TrainingTrace::write_csv(const std::string& path) const {
   util::CsvWriter csv(path,
                       {"algorithm", "round", "train_loss", "test_accuracy",
                        "grad_norm_sq", "model_time", "wall_seconds",
-                       "mean_local_theta", "comm_bytes",
-                       "sample_grad_evals"});
+                       "mean_local_theta", "comm_bytes", "sample_grad_evals",
+                       "t_broadcast", "t_local_solve", "t_aggregate",
+                       "t_eval"});
   for (const auto& r : rounds) {
+    // Measured phase columns are -1 when the run was not profiled, matching
+    // the grad_norm_sq "not evaluated" convention.
+    const PhaseTimings timings =
+        r.measured.value_or(PhaseTimings{-1.0, -1.0, -1.0, -1.0});
     csv.builder()
         .add(algorithm)
         .add(r.round)
@@ -74,6 +79,10 @@ void TrainingTrace::write_csv(const std::string& path) const {
         .add(r.mean_local_theta)
         .add(r.comm_bytes)
         .add(r.sample_grad_evals)
+        .add(timings.broadcast)
+        .add(timings.local_solve)
+        .add(timings.aggregate)
+        .add(timings.eval)
         .commit();
   }
 }

@@ -7,6 +7,33 @@
 
 namespace fedvr::fl {
 
+/// Measured per-phase wall-clock seconds, cumulative since round 1 (same
+/// convention as RoundMetrics::wall_seconds). Populated by the trainer when
+/// TrainerOptions::observability is enabled.
+struct PhaseTimings {
+  double broadcast = 0.0;    // participant selection + model distribution
+  double local_solve = 0.0;  // device-parallel local solver execution
+  double aggregate = 0.0;    // weighted averaging + cost accounting
+  double eval = 0.0;         // global loss / accuracy evaluation
+
+  [[nodiscard]] double sum() const {
+    return broadcast + local_solve + aggregate + eval;
+  }
+};
+
+/// Measured counterpart of the §4.3 analytic TimingModel, estimated from
+/// profiled rounds: d_com ≈ mean broadcast+aggregate seconds per round,
+/// d_cmp ≈ mean device solve seconds per inner iteration. Lets benches
+/// compare eq. 19's predicted round time against what actually happened.
+struct MeasuredTiming {
+  double d_com = 0.0;
+  double d_cmp = 0.0;
+
+  [[nodiscard]] double round_time(std::size_t tau) const {
+    return d_com + d_cmp * static_cast<double>(tau);
+  }
+};
+
 struct RoundMetrics {
   std::size_t round = 0;          // global iteration s (1-based)
   double train_loss = 0.0;        // global objective F̄(w̄^(s)) (eq. 2)
@@ -19,6 +46,10 @@ struct RoundMetrics {
   // Cost accounting (cumulative since round 1):
   std::size_t comm_bytes = 0;        // bytes moved device<->server
   std::size_t sample_grad_evals = 0; // per-sample gradient evaluations
+
+  /// Measured phase timings (cumulative); present only when the trainer ran
+  /// with observability enabled.
+  std::optional<PhaseTimings> measured;
 };
 
 struct TrainingTrace {
@@ -27,6 +58,10 @@ struct TrainingTrace {
   /// The global model w̄^(T) after the last round — checkpoint or deploy it
   /// (see nn::save_parameters).
   std::vector<double> final_parameters;
+
+  /// Measured timing-model estimate (observability runs only): compare
+  /// measured_timing->round_time(tau) against TimingModel::round_time(tau).
+  std::optional<MeasuredTiming> measured_timing;
 
   [[nodiscard]] bool empty() const { return rounds.empty(); }
   [[nodiscard]] const RoundMetrics& back() const { return rounds.back(); }

@@ -13,13 +13,19 @@ struct TimingModel {
   double d_com = 1.0;  // communication delay per global round
   double d_cmp = 0.1;  // computation delay per local iteration
 
-  /// Model time for one global round with tau local iterations.
+  /// Model time for one global round with tau local iterations. Validates
+  /// the same way gamma() does: delays must be meaningful (d_com > 0,
+  /// d_cmp >= 0) and Algorithm 1 runs at least one local iteration.
   [[nodiscard]] double round_time(std::size_t tau) const {
+    FEDVR_CHECK_MSG(d_com > 0.0, "d_com must be positive, got " << d_com);
+    FEDVR_CHECK_MSG(d_cmp >= 0.0, "d_cmp must be nonnegative, got " << d_cmp);
+    FEDVR_CHECK_MSG(tau >= 1, "round_time needs tau >= 1");
     return d_com + d_cmp * static_cast<double>(tau);
   }
 
   /// Model time for T rounds (paper eq. 19).
   [[nodiscard]] double total_time(std::size_t rounds, std::size_t tau) const {
+    FEDVR_CHECK_MSG(rounds >= 1, "total_time needs rounds >= 1");
     return static_cast<double>(rounds) * round_time(tau);
   }
 

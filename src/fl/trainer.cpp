@@ -1,14 +1,40 @@
 #include "fl/trainer.h"
 
 #include <algorithm>
+#include <fstream>
 #include <numeric>
 
+#include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/vecops.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
 namespace fedvr::fl {
+
+namespace {
+
+// Flips the global obs collection flag for the duration of a profiled run
+// and restores the previous state on exit (exceptions included).
+class ScopedObsEnable {
+ public:
+  explicit ScopedObsEnable(bool enable)
+      : active_(enable), previous_(enable ? obs::set_enabled(true) : false) {}
+  ScopedObsEnable(const ScopedObsEnable&) = delete;
+  ScopedObsEnable& operator=(const ScopedObsEnable&) = delete;
+  ~ScopedObsEnable() {
+    if (active_) obs::set_enabled(previous_);
+  }
+
+ private:
+  bool active_;
+  bool previous_;
+};
+
+}  // namespace
 
 Trainer::Trainer(std::shared_ptr<const nn::Model> model,
                  const data::FederatedDataset& fed, TrainerOptions options)
@@ -104,6 +130,10 @@ TrainingTrace Trainer::run_impl(
   util::Stopwatch wall;
   double model_time = 0.0;
 
+  const bool obs_on = options_.observability.enabled;
+  ScopedObsEnable obs_guard(obs_on);
+  obs::RoundProfiler profiler(obs_on);
+
   if (options_.eval_initial) {
     RoundMetrics m;
     m.round = 0;
@@ -122,115 +152,181 @@ TrainingTrace Trainer::run_impl(
   std::size_t total_grad_evals = 0;
 
   for (std::size_t s = 1; s <= options_.rounds; ++s) {
-    // Optional client sampling (FedAvg practicality; off for the paper's
-    // experiments, which use full participation).
-    std::vector<std::size_t> participants;
-    if (options_.devices_per_round &&
-        *options_.devices_per_round < num_devices) {
-      util::Rng select_rng =
-          util::fork(options_.seed, 0, s, util::stream::kSelection);
-      participants = select_rng.sample_without_replacement(
-          num_devices, *options_.devices_per_round);
-    } else {
-      participants.resize(num_devices);
-      std::iota(participants.begin(), participants.end(), 0);
-    }
+    profiler.begin_round(s, num_devices);
+    bool target_reached = false;
+    {
+      OBS_SPAN("round");
 
-    // Local updates (Algorithm 1 lines 2-11), device-parallel.
-    auto run_device = [&](std::size_t k) {
-      const std::size_t device = participants[k];
-      util::Rng rng = util::fork(options_.seed, device + 1, s,
-                                 util::stream::kSampling);
-      auto result =
-          solver_for(device).solve(fed_.train[device], w_global, rng);
-      locals[device] = std::move(result.w);
-      if (options_.uplink_compressor) {
-        // Compress the update delta; the server reconstructs anchor+delta.
-        std::vector<double> delta(dim);
-        tensor::sub(locals[device], w_global, delta);
-        util::Rng comp_rng = util::fork(options_.seed, device + 1, s,
-                                        util::stream::kSelection + 10);
-        options_.uplink_compressor->compress(delta, comp_rng);
-        tensor::copy(w_global, locals[device]);
-        tensor::axpy(1.0, delta, locals[device]);
+      // Optional client sampling (FedAvg practicality; off for the paper's
+      // experiments, which use full participation).
+      std::vector<std::size_t> participants;
+      {
+        obs::RoundProfiler::ScopedPhase phase(profiler,
+                                              obs::Phase::kBroadcast);
+        OBS_SPAN("round.broadcast");
+        if (options_.devices_per_round &&
+            *options_.devices_per_round < num_devices) {
+          util::Rng select_rng =
+              util::fork(options_.seed, 0, s, util::stream::kSelection);
+          participants = select_rng.sample_without_replacement(
+              num_devices, *options_.devices_per_round);
+        } else {
+          participants.resize(num_devices);
+          std::iota(participants.begin(), participants.end(), 0);
+        }
       }
-      thetas[device] = result.measured_theta;
-      grad_evals[device] = result.sample_gradient_evals;
-    };
-    if (options_.parallel && util::ThreadPool::global().size() > 1) {
-      util::ThreadPool::global().parallel_for(0, participants.size(),
-                                              run_device);
-    } else {
-      for (std::size_t k = 0; k < participants.size(); ++k) run_device(k);
-    }
 
-    // Global aggregation (line 12) over participants, reweighted so the
-    // weights of the sampled subset sum to one.
-    double weight_sum = 0.0;
-    for (std::size_t device : participants) weight_sum += fed_.weight(device);
-    tensor::fill(w_global, 0.0);
-    for (std::size_t device : participants) {
-      tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
-                                  locals[device], w_global);
-    }
-
-    if (options_.per_device_timing.empty()) {
-      model_time += options_.timing.round_time(timing_tau);
-    } else {
-      // Synchronous round: wait for the slowest participant.
-      double slowest = 0.0;
-      for (std::size_t device : participants) {
-        slowest = std::max(
-            slowest, options_.per_device_timing[device].round_time(timing_tau));
+      // Local updates (Algorithm 1 lines 2-11), device-parallel.
+      auto run_device = [&](std::size_t k) {
+        const std::size_t device = participants[k];
+        OBS_SPAN("device.solve");
+        const std::uint64_t solve_start = obs_on ? obs::now_ns() : 0;
+        util::Rng rng = util::fork(options_.seed, device + 1, s,
+                                   util::stream::kSampling);
+        auto result =
+            solver_for(device).solve(fed_.train[device], w_global, rng);
+        locals[device] = std::move(result.w);
+        if (options_.uplink_compressor) {
+          // Compress the update delta; the server reconstructs anchor+delta.
+          std::vector<double> delta(dim);
+          tensor::sub(locals[device], w_global, delta);
+          util::Rng comp_rng = util::fork(options_.seed, device + 1, s,
+                                          util::stream::kSelection + 10);
+          options_.uplink_compressor->compress(delta, comp_rng);
+          tensor::copy(w_global, locals[device]);
+          tensor::axpy(1.0, delta, locals[device]);
+        }
+        thetas[device] = result.measured_theta;
+        grad_evals[device] = result.sample_gradient_evals;
+        if (obs_on) {
+          profiler.record_device(
+              device,
+              static_cast<double>(obs::now_ns() - solve_start) / 1e9,
+              result.iterations_run);
+        }
+      };
+      {
+        obs::RoundProfiler::ScopedPhase phase(profiler,
+                                              obs::Phase::kLocalSolve);
+        OBS_SPAN("round.local_solve");
+        if (options_.parallel && util::ThreadPool::global().size() > 1) {
+          util::ThreadPool::global().parallel_for(0, participants.size(),
+                                                  run_device);
+        } else {
+          for (std::size_t k = 0; k < participants.size(); ++k) run_device(k);
+        }
       }
-      model_time += slowest;
-    }
-    // One dense broadcast down plus one (possibly compressed) model up per
-    // participant per round.
-    const std::size_t up_bytes =
-        options_.uplink_compressor
-            ? options_.uplink_compressor->wire_bytes(dim)
-            : dim * sizeof(double);
-    total_comm_bytes +=
-        participants.size() * (dim * sizeof(double) + up_bytes);
-    for (std::size_t device : participants) {
-      total_grad_evals += grad_evals[device];
-    }
 
-    if (s % options_.eval_every == 0 || s == options_.rounds) {
-      RoundMetrics m;
-      m.round = s;
-      m.train_loss = global_loss(w_global);
-      m.test_accuracy = test_accuracy(w_global);
-      if (options_.eval_grad_norm) {
-        m.grad_norm_sq = global_grad_norm_sq(w_global);
-      }
-      m.model_time = model_time;
-      m.wall_seconds = wall.seconds();
-      m.comm_bytes = total_comm_bytes;
-      m.sample_grad_evals = total_grad_evals;
-      if (options_.collect_theta) {
-        double sum = 0.0;
-        std::size_t count = 0;
+      {
+        obs::RoundProfiler::ScopedPhase phase(profiler,
+                                              obs::Phase::kAggregate);
+        OBS_SPAN("round.aggregate");
+        // Global aggregation (line 12) over participants, reweighted so the
+        // weights of the sampled subset sum to one.
+        double weight_sum = 0.0;
         for (std::size_t device : participants) {
-          if (thetas[device] >= 0.0) {
-            sum += thetas[device];
-            ++count;
+          weight_sum += fed_.weight(device);
+        }
+        tensor::fill(w_global, 0.0);
+        for (std::size_t device : participants) {
+          tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
+                                      locals[device], w_global);
+        }
+
+        if (options_.per_device_timing.empty()) {
+          model_time += options_.timing.round_time(timing_tau);
+        } else {
+          // Synchronous round: wait for the slowest participant.
+          double slowest = 0.0;
+          for (std::size_t device : participants) {
+            slowest = std::max(
+                slowest,
+                options_.per_device_timing[device].round_time(timing_tau));
+          }
+          model_time += slowest;
+        }
+        // One dense broadcast down plus one (possibly compressed) model up
+        // per participant per round.
+        const std::size_t up_bytes =
+            options_.uplink_compressor
+                ? options_.uplink_compressor->wire_bytes(dim)
+                : dim * sizeof(double);
+        total_comm_bytes +=
+            participants.size() * (dim * sizeof(double) + up_bytes);
+        for (std::size_t device : participants) {
+          total_grad_evals += grad_evals[device];
+        }
+      }
+
+      if (s % options_.eval_every == 0 || s == options_.rounds) {
+        RoundMetrics m;
+        m.round = s;
+        {
+          obs::RoundProfiler::ScopedPhase phase(profiler, obs::Phase::kEval);
+          OBS_SPAN("round.eval");
+          m.train_loss = global_loss(w_global);
+          m.test_accuracy = test_accuracy(w_global);
+          if (options_.eval_grad_norm) {
+            m.grad_norm_sq = global_grad_norm_sq(w_global);
           }
         }
-        m.mean_local_theta = count > 0 ? sum / static_cast<double>(count)
-                                       : -1.0;
-      }
-      trace.rounds.push_back(m);
-      FEDVR_LOG_DEBUG << name << " round " << s << " loss " << m.train_loss
-                      << " acc " << m.test_accuracy;
-      if (options_.target_accuracy &&
-          m.test_accuracy >= *options_.target_accuracy) {
-        break;
+        m.model_time = model_time;
+        m.wall_seconds = wall.seconds();
+        m.comm_bytes = total_comm_bytes;
+        m.sample_grad_evals = total_grad_evals;
+        if (obs_on) {
+          const obs::PhaseTotals& totals = profiler.totals();
+          m.measured =
+              PhaseTimings{.broadcast = totals.phase(obs::Phase::kBroadcast),
+                           .local_solve =
+                               totals.phase(obs::Phase::kLocalSolve),
+                           .aggregate = totals.phase(obs::Phase::kAggregate),
+                           .eval = totals.phase(obs::Phase::kEval)};
+        }
+        if (options_.collect_theta) {
+          double sum = 0.0;
+          std::size_t count = 0;
+          for (std::size_t device : participants) {
+            if (thetas[device] >= 0.0) {
+              sum += thetas[device];
+              ++count;
+            }
+          }
+          m.mean_local_theta =
+              count > 0 ? sum / static_cast<double>(count) : -1.0;
+        }
+        trace.rounds.push_back(m);
+        FEDVR_LOG_DEBUG << name << " round " << s << " loss " << m.train_loss
+                        << " acc " << m.test_accuracy;
+        if (options_.target_accuracy &&
+            m.test_accuracy >= *options_.target_accuracy) {
+          target_reached = true;
+        }
       }
     }
+    profiler.end_round();
+    if (target_reached) break;
   }
   trace.final_parameters = std::move(w_global);
+
+  if (obs_on) {
+    const obs::TimingEstimate est = profiler.estimate();
+    if (est.valid()) {
+      trace.measured_timing = MeasuredTiming{est.d_com, est.d_cmp};
+    }
+    if (!options_.observability.chrome_trace_path.empty()) {
+      obs::write_chrome_trace_file(options_.observability.chrome_trace_path);
+    }
+    if (!options_.observability.metrics_jsonl_path.empty()) {
+      std::ofstream out(options_.observability.metrics_jsonl_path);
+      FEDVR_CHECK_MSG(out.good(),
+                      "cannot open '"
+                          << options_.observability.metrics_jsonl_path
+                          << "' for writing");
+      obs::Registry::global().snapshot().write_jsonl(out);
+      obs::write_span_summary_jsonl(out);
+    }
+  }
   return trace;
 }
 

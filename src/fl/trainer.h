@@ -27,6 +27,22 @@
 
 namespace fedvr::fl {
 
+/// Run-scoped observability (fedvr::obs). Off by default: the null sink
+/// costs one relaxed atomic load per instrumentation site. When enabled,
+/// the run records phase/device trace spans, pool and solver counters, and
+/// fills RoundMetrics::measured + TrainingTrace::measured_timing.
+/// Collection is process-global while the run is active (the previous
+/// enable state is restored when run() returns).
+struct ObservabilityOptions {
+  bool enabled = false;
+  /// When non-empty, a Chrome trace_event JSON file written at the end of
+  /// run() — open in chrome://tracing or https://ui.perfetto.dev.
+  std::string chrome_trace_path;
+  /// When non-empty, a JSONL file with the metrics-registry snapshot plus
+  /// per-span-name summaries, written at the end of run().
+  std::string metrics_jsonl_path;
+};
+
 struct TrainerOptions {
   std::size_t rounds = 100;       // T global iterations
   std::uint64_t seed = 1;
@@ -49,6 +65,8 @@ struct TrainerOptions {
   std::vector<TimingModel> per_device_timing;
   /// Parallel device execution. Deterministic either way.
   bool parallel = true;
+  /// Per-phase / per-device profiling + metrics collection (fedvr::obs).
+  ObservabilityOptions observability;
 };
 
 class Trainer {

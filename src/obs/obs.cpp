@@ -1,0 +1,36 @@
+#include "obs/obs.h"
+
+#include <chrono>
+
+namespace fedvr::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+bool set_enabled(bool on) {
+  return detail::g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point epoch() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+// Force epoch capture during static initialization so concurrent first
+// calls from worker threads agree on t0 (magic statics are thread-safe
+// anyway; this just pins the epoch early).
+[[maybe_unused]] const Clock::time_point g_epoch_init = epoch();
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch())
+          .count());
+}
+
+}  // namespace fedvr::obs

@@ -1,0 +1,197 @@
+// fedvr::obs metrics registry: named counters, gauges, and fixed-bucket
+// histograms, snapshotable at any time.
+//
+// Hot-path cost model:
+//   * Counter::add — one relaxed fetch_add on a per-thread shard (wait-free,
+//     no cache-line ping-pong between threads).
+//   * Gauge::set — one relaxed store; Gauge::add — a CAS loop (gauges are
+//     not meant for per-element hot loops).
+//   * Histogram::record — bucket search (branchless-ish linear scan over a
+//     handful of bounds) + one relaxed fetch_add.
+// Registration (counter()/gauge()/histogram()) takes a mutex and should be
+// done once per site; the FEDVR_OBS_COUNT macro caches the handle in a
+// function-local static so steady-state cost is the enabled() check plus
+// the shard increment.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fedvr::obs {
+
+namespace detail {
+/// Small dense per-thread slot used to pick counter shards.
+[[nodiscard]] std::size_t thread_slot();
+}  // namespace detail
+
+/// Monotonically increasing integer metric. Sharded across cache-line-sized
+/// slots so concurrent writers on different threads do not contend.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta = 1) {
+    shards_[detail::thread_slot() % kShards].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Not a point-in-time linearizable read while writers
+  /// are active, but exact once writers have quiesced (e.g. after a
+  /// parallel_for returns).
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins floating-point metric (e.g. queue depth, utilization).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bounds are upper edges (v <= bound), with an
+/// implicit +inf overflow bucket. Bounds are set at registration and never
+/// change.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;         // upper edges, excluding +inf
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<Counter> counts_;  // one per bucket; sharded like counters
+  Counter count_;
+  Gauge sum_;
+};
+
+/// A point-in-time copy of every registered metric, ordered by name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Histogram::Snapshot data;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// One JSON object per line:
+  ///   {"type":"counter","name":"...","value":N}
+  ///   {"type":"gauge","name":"...","value":X}
+  ///   {"type":"histogram","name":"...","count":N,"sum":X,
+  ///    "buckets":[{"le":B,"count":N},...,{"le":"inf","count":N}]}
+  void write_jsonl(std::ostream& os) const;
+  void write_jsonl_file(const std::string& path) const;
+};
+
+/// Name -> metric registry. Handles returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime.
+class Registry {
+ public:
+  /// The process-wide registry used by all fedvr instrumentation.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// Throws util::Error if `name` is already a different metric type.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` is consumed on first registration; later calls must
+  /// pass the same bounds (or empty to mean "whatever was registered").
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric's value (registrations survive). For tests and
+  /// run-scoped collection.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fedvr::obs
+
+// Hot-path counter increment: a relaxed enabled() check, then a sharded
+// fetch_add on a handle cached in a function-local static. Compile out
+// entirely with -DFEDVR_OBS_DISABLED for zero-cost builds.
+#if defined(FEDVR_OBS_DISABLED)
+#define FEDVR_OBS_COUNT(name, delta) \
+  do {                               \
+  } while (0)
+#else
+#define FEDVR_OBS_COUNT(name, delta)                              \
+  do {                                                            \
+    if (::fedvr::obs::enabled()) {                                \
+      static ::fedvr::obs::Counter& fedvr_obs_counter =           \
+          ::fedvr::obs::Registry::global().counter(name);         \
+      fedvr_obs_counter.add(static_cast<std::uint64_t>(delta));   \
+    }                                                             \
+  } while (0)
+#endif

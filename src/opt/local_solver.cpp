@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/vecops.h"
 #include "util/error.h"
 
@@ -78,6 +80,7 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
   const std::size_t n = train.size();
   const auto full_idx = nn::all_indices(n);
 
+  OBS_SPAN("solver.solve");
   LocalSolverResult result;
 
   // Step size at inner iteration t (t = 0 is the first prox step).
@@ -101,6 +104,7 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
   result.anchor_loss = model_->loss_and_gradient(w_prev, train, full_idx, v);
   result.sample_gradient_evals += n;
   result.anchor_grad_norm = tensor::nrm2(v);
+  FEDVR_OBS_COUNT("solver.anchor_gradients", 1);
 
   std::vector<double> snapshot;
   if (selected_t == 0) snapshot = w_prev;
@@ -209,6 +213,8 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
             ? result.surrogate_grad_norm / result.anchor_grad_norm
             : 0.0;
   }
+  FEDVR_OBS_COUNT("solver.inner_iterations", result.iterations_run);
+  FEDVR_OBS_COUNT("solver.sample_grad_evals", result.sample_gradient_evals);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "tensor/im2col.h"
 
+#include "obs/registry.h"
 #include "util/error.h"
 
 namespace fedvr::tensor {
@@ -23,6 +24,8 @@ void check_geometry(const ConvGeometry& g, std::size_t image_size,
 void im2col(const ConvGeometry& g, std::span<const double> image,
             std::span<double> cols) {
   check_geometry(g, image.size(), cols.size());
+  FEDVR_OBS_COUNT("tensor.im2col.calls", 1);
+  FEDVR_OBS_COUNT("tensor.im2col.elems", cols.size());
   const std::size_t out_h = g.out_h();
   const std::size_t out_w = g.out_w();
   std::size_t row = 0;
@@ -58,6 +61,8 @@ void im2col(const ConvGeometry& g, std::span<const double> image,
 void col2im(const ConvGeometry& g, std::span<const double> cols,
             std::span<double> image) {
   check_geometry(g, image.size(), cols.size());
+  FEDVR_OBS_COUNT("tensor.col2im.calls", 1);
+  FEDVR_OBS_COUNT("tensor.col2im.elems", cols.size());
   const std::size_t out_h = g.out_h();
   const std::size_t out_w = g.out_w();
   std::size_t row = 0;

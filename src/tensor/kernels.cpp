@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/registry.h"
 #include "util/error.h"
 
 namespace fedvr::tensor {
@@ -81,7 +82,9 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
       for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
     }
   }
+  FEDVR_OBS_COUNT("tensor.gemm.calls", 1);
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  FEDVR_OBS_COUNT("tensor.gemm.flops", 2ULL * m * n * k);
 
   // Pack operands into non-transposed layout. Simpler than four loop
   // variants, and the packing cost is linear while gemm is cubic.
@@ -125,7 +128,9 @@ void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
   } else if (beta != 1.0) {
     for (double& v : y) v *= beta;
   }
+  FEDVR_OBS_COUNT("tensor.gemv.calls", 1);
   if (alpha == 0.0) return;
+  FEDVR_OBS_COUNT("tensor.gemv.flops", 2ULL * rows * cols);
   if (trans == Trans::kNo) {
     for (std::size_t i = 0; i < rows; ++i) {
       const double* row = a.data() + i * cols;

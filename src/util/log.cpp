@@ -1,14 +1,24 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 
 namespace fedvr::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Startup level: FEDVR_LOG_LEVEL if set and recognized, else Info.
+LogLevel initial_level() {
+  const char* env = std::getenv("FEDVR_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  return parse_log_level(env).value_or(LogLevel::kInfo);
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_write_mutex;
 
 const char* level_tag(LogLevel level) {
@@ -24,6 +34,22 @@ const char* level_tag(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
 
 namespace detail {
 void write_log_line(LogLevel level, const std::string& message) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -15,8 +16,17 @@ namespace fedvr::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global minimum level; messages below it are discarded cheaply.
+///
+/// The initial level comes from the FEDVR_LOG_LEVEL environment variable
+/// (parsed once at startup; see parse_log_level for accepted spellings) and
+/// defaults to Info when unset or unrecognized — so benches can be silenced
+/// with FEDVR_LOG_LEVEL=error without code edits.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parses a level name: "debug"/"info"/"warn"/"warning"/"error" (any case)
+/// or the numeric values "0".."3". Returns nullopt for anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
 
 namespace detail {
 void write_log_line(LogLevel level, const std::string& message);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/registry.h"
 #include "util/error.h"
 
 namespace fedvr::util {
@@ -26,16 +27,34 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_enqueued() {
+  if (!obs::enabled()) return;
+  FEDVR_OBS_COUNT("pool.tasks_submitted", 1);
+  obs::Registry::global().gauge("pool.queue_depth").add(1.0);
+}
+
+void ThreadPool::note_dequeued() {
+  if (!obs::enabled()) return;
+  FEDVR_OBS_COUNT("pool.tasks_executed", 1);
+  obs::Registry::global().gauge("pool.queue_depth").add(-1.0);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
+      // Time spent blocked here is worker idle time (observability only).
+      const std::uint64_t wait_start = obs::enabled() ? obs::now_ns() : 0;
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (wait_start != 0) {
+        FEDVR_OBS_COUNT("pool.idle_ns", obs::now_ns() - wait_start);
+      }
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    note_dequeued();
     task();
   }
 }

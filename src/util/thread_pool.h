@@ -43,6 +43,7 @@ class ThreadPool {
       std::scoped_lock lock(mutex_);
       tasks_.emplace([task] { (*task)(); });
     }
+    note_enqueued();
     cv_.notify_one();
     return result;
   }
@@ -64,6 +65,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  // Out-of-line fedvr::obs hooks (pool.* counters/gauges) so this header
+  // stays free of obs includes; no-ops while observability is disabled.
+  static void note_enqueued();
+  static void note_dequeued();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -32,25 +32,6 @@ TrainingTrace make_trace(std::initializer_list<double> losses,
   return t;
 }
 
-TEST(TimingModel, RoundAndTotalTime) {
-  const TimingModel tm{.d_com = 2.0, .d_cmp = 0.5};
-  EXPECT_DOUBLE_EQ(tm.round_time(10), 7.0);
-  EXPECT_DOUBLE_EQ(tm.total_time(4, 10), 28.0);
-  EXPECT_DOUBLE_EQ(tm.gamma(), 0.25);
-}
-
-TEST(TimingModel, FromGammaNormalizesDcom) {
-  const TimingModel tm = TimingModel::from_gamma(0.1);
-  EXPECT_DOUBLE_EQ(tm.d_com, 1.0);
-  EXPECT_DOUBLE_EQ(tm.d_cmp, 0.1);
-  EXPECT_THROW((void)TimingModel::from_gamma(0.0), Error);
-}
-
-TEST(TimingModel, ZeroDcomGammaThrows) {
-  const TimingModel tm{.d_com = 0.0, .d_cmp = 1.0};
-  EXPECT_THROW((void)tm.gamma(), Error);
-}
-
 TEST(TrainingTrace, BestAccuracyReturnsFirstMaximum) {
   const auto t = make_trace({1.0, 0.5, 0.4, 0.39}, {0.1, 0.9, 0.9, 0.8});
   const auto [best, round] = t.best_accuracy();
@@ -101,7 +82,8 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   EXPECT_EQ(header,
             "algorithm,round,train_loss,test_accuracy,grad_norm_sq,"
             "model_time,wall_seconds,mean_local_theta,comm_bytes,"
-            "sample_grad_evals");
+            "sample_grad_evals,t_broadcast,t_local_solve,t_aggregate,"
+            "t_eval");
   EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
   EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
   std::filesystem::remove_all(dir);

@@ -1,0 +1,67 @@
+#include "fl/timing_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace fedvr::fl {
+namespace {
+
+using fedvr::util::Error;
+
+TEST(TimingModel, RoundTimeMatchesEq19) {
+  const TimingModel tm{.d_com = 2.0, .d_cmp = 0.5};
+  EXPECT_DOUBLE_EQ(tm.round_time(1), 2.5);
+  EXPECT_DOUBLE_EQ(tm.round_time(10), 7.0);
+  EXPECT_DOUBLE_EQ(tm.total_time(4, 10), 28.0);
+  EXPECT_DOUBLE_EQ(tm.gamma(), 0.25);
+}
+
+TEST(TimingModel, FromGammaNormalizesDcom) {
+  const TimingModel tm = TimingModel::from_gamma(0.1);
+  EXPECT_DOUBLE_EQ(tm.d_com, 1.0);
+  EXPECT_DOUBLE_EQ(tm.d_cmp, 0.1);
+  EXPECT_THROW((void)TimingModel::from_gamma(0.0), Error);
+}
+
+TEST(TimingModel, ZeroComputationDelayIsAllowed) {
+  // d_cmp = 0 models free local computation (gamma -> 0); still a valid
+  // round: only communication is charged.
+  const TimingModel tm{.d_com = 3.0, .d_cmp = 0.0};
+  EXPECT_DOUBLE_EQ(tm.round_time(100), 3.0);
+  EXPECT_DOUBLE_EQ(tm.gamma(), 0.0);
+}
+
+TEST(TimingModel, RejectsTauZero) {
+  const TimingModel tm;
+  EXPECT_THROW((void)tm.round_time(0), Error);
+  EXPECT_THROW((void)tm.total_time(10, 0), Error);
+}
+
+TEST(TimingModel, RejectsNonPositiveComDelay) {
+  const TimingModel zero{.d_com = 0.0, .d_cmp = 0.1};
+  const TimingModel negative{.d_com = -1.0, .d_cmp = 0.1};
+  EXPECT_THROW((void)zero.round_time(1), Error);
+  EXPECT_THROW((void)negative.round_time(1), Error);
+}
+
+TEST(TimingModel, RejectsNegativeCmpDelay) {
+  const TimingModel tm{.d_com = 1.0, .d_cmp = -0.5};
+  EXPECT_THROW((void)tm.round_time(1), Error);
+  EXPECT_THROW((void)tm.total_time(1, 1), Error);
+}
+
+TEST(TimingModel, RejectsZeroRounds) {
+  const TimingModel tm;
+  EXPECT_THROW((void)tm.total_time(0, 10), Error);
+}
+
+TEST(TimingModel, ValidationIsConsistentWithGamma) {
+  // gamma() and round_time() agree on what a malformed model is.
+  const TimingModel bad{.d_com = 0.0, .d_cmp = 1.0};
+  EXPECT_THROW((void)bad.gamma(), Error);
+  EXPECT_THROW((void)bad.round_time(1), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::fl

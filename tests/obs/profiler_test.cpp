@@ -1,0 +1,125 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace fedvr::obs {
+namespace {
+
+using fedvr::util::Error;
+
+TEST(RoundProfiler, DisabledProfilerIsANullSink) {
+  RoundProfiler p(false);
+  p.begin_round(1, 4);
+  p.record_device(0, 1.0, 10);
+  p.add_phase_seconds(Phase::kLocalSolve, 1.0);
+  p.end_round();
+  EXPECT_TRUE(p.rounds().empty());
+  EXPECT_DOUBLE_EQ(p.totals().sum(), 0.0);
+  EXPECT_FALSE(p.estimate().valid());
+}
+
+TEST(RoundProfiler, AccumulatesPhasesPerRoundAndInTotals) {
+  RoundProfiler p(true);
+  p.begin_round(1, 2);
+  p.add_phase_seconds(Phase::kBroadcast, 0.1);
+  p.add_phase_seconds(Phase::kLocalSolve, 1.0);
+  p.add_phase_seconds(Phase::kAggregate, 0.2);
+  p.add_phase_seconds(Phase::kEval, 0.5);
+  p.end_round();
+  p.begin_round(2, 2);
+  p.add_phase_seconds(Phase::kBroadcast, 0.3);
+  p.add_phase_seconds(Phase::kLocalSolve, 2.0);
+  p.end_round();
+
+  ASSERT_EQ(p.rounds().size(), 2u);
+  const auto& r1 = p.rounds()[0];
+  EXPECT_EQ(r1.round, 1u);
+  EXPECT_DOUBLE_EQ(r1.phase(Phase::kBroadcast), 0.1);
+  EXPECT_DOUBLE_EQ(r1.phase(Phase::kEval), 0.5);
+  const auto& r2 = p.rounds()[1];
+  EXPECT_DOUBLE_EQ(r2.phase(Phase::kBroadcast), 0.3);
+  EXPECT_DOUBLE_EQ(r2.phase(Phase::kEval), 0.0);
+  EXPECT_DOUBLE_EQ(p.totals().phase(Phase::kBroadcast), 0.4);
+  EXPECT_DOUBLE_EQ(p.totals().phase(Phase::kLocalSolve), 3.0);
+  EXPECT_DOUBLE_EQ(p.totals().sum(), 4.1);
+}
+
+TEST(RoundProfiler, EstimatesTimingModelFromSamples) {
+  RoundProfiler p(true);
+  // Round 1: com = 0.1 + 0.2; devices: 2s/10 iters and 1s/10 iters.
+  p.begin_round(1, 3);
+  p.add_phase_seconds(Phase::kBroadcast, 0.1);
+  p.add_phase_seconds(Phase::kAggregate, 0.2);
+  p.record_device(0, 2.0, 10);
+  p.record_device(1, 1.0, 10);
+  p.end_round();
+  // Round 2: com = 0.3 + 0.4; one device: 3s/20 iters. Device 2 never
+  // participates and must not pollute the estimate.
+  p.begin_round(2, 3);
+  p.add_phase_seconds(Phase::kBroadcast, 0.3);
+  p.add_phase_seconds(Phase::kAggregate, 0.4);
+  p.record_device(0, 3.0, 20);
+  p.end_round();
+
+  const TimingEstimate est = p.estimate();
+  ASSERT_TRUE(est.valid());
+  EXPECT_EQ(est.rounds, 2u);
+  EXPECT_DOUBLE_EQ(est.d_com, (0.3 + 0.7) / 2.0);
+  EXPECT_DOUBLE_EQ(est.d_cmp, 6.0 / 40.0);
+  EXPECT_DOUBLE_EQ(est.round_time(10), est.d_com + 10.0 * est.d_cmp);
+}
+
+TEST(RoundProfiler, EvalTimeIsExcludedFromDcom) {
+  RoundProfiler p(true);
+  p.begin_round(1, 1);
+  p.add_phase_seconds(Phase::kBroadcast, 0.1);
+  p.add_phase_seconds(Phase::kAggregate, 0.1);
+  p.add_phase_seconds(Phase::kEval, 100.0);  // diagnostics, not round time
+  p.record_device(0, 1.0, 10);
+  p.end_round();
+  EXPECT_DOUBLE_EQ(p.estimate().d_com, 0.2);
+}
+
+TEST(RoundProfiler, ScopedPhaseMeasuresElapsedTime) {
+  RoundProfiler p(true);
+  p.begin_round(1, 1);
+  {
+    RoundProfiler::ScopedPhase phase(p, Phase::kLocalSolve);
+    // Burn a little time; any positive measurement passes.
+    volatile double x = 0.0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  }
+  p.end_round();
+  EXPECT_GT(p.rounds()[0].phase(Phase::kLocalSolve), 0.0);
+}
+
+TEST(RoundProfiler, RecordDeviceValidation) {
+  RoundProfiler p(true);
+  EXPECT_THROW(p.record_device(0, 1.0, 1), Error);  // no open round
+  p.begin_round(1, 2);
+  EXPECT_THROW(p.record_device(2, 1.0, 1), Error);  // device out of range
+}
+
+TEST(RoundProfiler, BeginRoundClosesAnOpenRound) {
+  RoundProfiler p(true);
+  p.begin_round(1, 1);
+  p.add_phase_seconds(Phase::kBroadcast, 0.5);
+  p.begin_round(2, 1);  // implicitly ends round 1
+  p.end_round();
+  ASSERT_EQ(p.rounds().size(), 2u);
+  EXPECT_EQ(p.rounds()[0].round, 1u);
+  EXPECT_DOUBLE_EQ(p.rounds()[0].phase(Phase::kBroadcast), 0.5);
+  EXPECT_EQ(p.rounds()[1].round, 2u);
+}
+
+TEST(RoundProfiler, PhaseNames) {
+  EXPECT_STREQ(phase_name(Phase::kBroadcast), "broadcast");
+  EXPECT_STREQ(phase_name(Phase::kLocalSolve), "local_solve");
+  EXPECT_STREQ(phase_name(Phase::kAggregate), "aggregate");
+  EXPECT_STREQ(phase_name(Phase::kEval), "eval");
+}
+
+}  // namespace
+}  // namespace fedvr::obs

@@ -1,0 +1,184 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::obs {
+namespace {
+
+using fedvr::util::Error;
+using fedvr::util::ThreadPool;
+
+// Restores the global enable flag so suites don't interfere.
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { prev_ = set_enabled(false); }
+  void TearDown() override { set_enabled(prev_); }
+  bool prev_ = false;
+};
+
+TEST_F(RegistryTest, CounterAddsAndResets) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(RegistryTest, CounterHandleIsStable) {
+  Registry reg;
+  Counter& a = reg.counter("same");
+  Counter& b = reg.counter("same");
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(RegistryTest, ShardedCounterIsExactUnderThreadPool) {
+  Registry reg;
+  Counter& c = reg.counter("parallel");
+  ThreadPool pool(4);
+  constexpr std::size_t kIters = 20000;
+  pool.parallel_for(0, kIters, [&](std::size_t) { c.add(1); });
+  // Writers have quiesced (parallel_for blocked until done): the sum over
+  // shards must be exact, not approximate.
+  EXPECT_EQ(c.value(), kIters);
+}
+
+TEST_F(RegistryTest, GaugeSetAddUnderThreadPool) {
+  Registry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(10.0);
+  ThreadPool pool(4);
+  pool.parallel_for(0, 1000, [&](std::size_t) { g.add(1.0); });
+  pool.parallel_for(0, 500, [&](std::size_t) { g.add(-2.0); });
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST_F(RegistryTest, HistogramBucketSemantics) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0, 5.0});
+  // Upper edges are inclusive: v <= bound lands in the bucket.
+  h.record(0.5);
+  h.record(1.0);
+  h.record(1.5);
+  h.record(5.0);
+  h.record(7.0);  // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+}
+
+TEST_F(RegistryTest, HistogramTotalsExactUnderThreadPool) {
+  Registry reg;
+  Histogram& h = reg.histogram("ph", {0.25, 0.5, 1.0});
+  ThreadPool pool(4);
+  constexpr std::size_t kIters = 8000;
+  pool.parallel_for(0, kIters, [&](std::size_t i) {
+    h.record(static_cast<double>(i % 4) * 0.25);  // 0, .25, .5, .75
+  });
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kIters);
+  EXPECT_EQ(s.counts[0], kIters / 2);  // 0 and 0.25
+  EXPECT_EQ(s.counts[1], kIters / 4);  // 0.5
+  EXPECT_EQ(s.counts[2], kIters / 4);  // 0.75
+  EXPECT_EQ(s.counts[3], 0u);
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(kIters / 4) * 1.5);
+}
+
+TEST_F(RegistryTest, HistogramValidatesBounds) {
+  Registry reg;
+  EXPECT_THROW((void)reg.histogram("empty", {}), Error);
+  EXPECT_THROW((void)reg.histogram("bad", {2.0, 1.0}), Error);
+  (void)reg.histogram("ok", {1.0, 2.0});
+  EXPECT_THROW((void)reg.histogram("ok", {3.0, 4.0}), Error);
+  EXPECT_NO_THROW((void)reg.histogram("ok", {}));  // reuse registered bounds
+}
+
+TEST_F(RegistryTest, NameCannotChangeMetricType) {
+  Registry reg;
+  (void)reg.counter("metric");
+  EXPECT_THROW((void)reg.gauge("metric"), Error);
+  EXPECT_THROW((void)reg.histogram("metric", {1.0}), Error);
+}
+
+TEST_F(RegistryTest, SnapshotJsonlGoldenOutput) {
+  Registry reg;
+  reg.counter("requests").add(3);
+  reg.gauge("depth").set(1.5);
+  Histogram& h = reg.histogram("latency", {1.0, 2.0});
+  h.record(0.5);
+  h.record(3.0);
+  std::ostringstream os;
+  reg.snapshot().write_jsonl(os);
+  EXPECT_EQ(os.str(),
+            "{\"type\":\"counter\",\"name\":\"requests\",\"value\":3}\n"
+            "{\"type\":\"gauge\",\"name\":\"depth\",\"value\":1.5}\n"
+            "{\"type\":\"histogram\",\"name\":\"latency\",\"count\":2,"
+            "\"sum\":3.5,\"buckets\":[{\"le\":1,\"count\":1},"
+            "{\"le\":2,\"count\":0},{\"le\":\"inf\",\"count\":1}]}\n");
+}
+
+TEST_F(RegistryTest, ResetValuesKeepsRegistrations) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", {1.0}).record(0.5);
+  reg.reset_values();
+  const auto s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].value, 0u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].value, 0.0);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].data.count, 0u);
+}
+
+TEST_F(RegistryTest, ObsCountMacroRespectsEnableFlag) {
+  Counter& c = Registry::global().counter("test.macro_gate");
+  const std::uint64_t before = c.value();
+  FEDVR_OBS_COUNT("test.macro_gate", 7);  // disabled: no-op
+  EXPECT_EQ(c.value(), before);
+  set_enabled(true);
+  FEDVR_OBS_COUNT("test.macro_gate", 7);
+  set_enabled(false);
+  EXPECT_EQ(c.value(), before + 7);
+}
+
+TEST_F(RegistryTest, ThreadPoolPublishesQueueMetricsWhenEnabled) {
+  auto& reg = Registry::global();
+  const std::uint64_t submitted_before =
+      reg.counter("pool.tasks_submitted").value();
+  const std::uint64_t executed_before =
+      reg.counter("pool.tasks_executed").value();
+  set_enabled(true);
+  {
+    ThreadPool pool(3);
+    pool.parallel_for(0, 64, [](std::size_t) {}, /*grain=*/1);
+    pool.submit([] {}).get();
+  }  // pool drained and joined
+  set_enabled(false);
+  const std::uint64_t submitted =
+      reg.counter("pool.tasks_submitted").value() - submitted_before;
+  const std::uint64_t executed =
+      reg.counter("pool.tasks_executed").value() - executed_before;
+  EXPECT_GE(submitted, 2u);  // at least one parallel_for chunk + the submit
+  EXPECT_EQ(submitted, executed);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.queue_depth").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace fedvr::obs

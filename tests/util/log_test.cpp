@@ -45,6 +45,26 @@ TEST_F(LogTest, MacroIsDanglingElseSafe) {
   EXPECT_TRUE(else_taken);
 }
 
+TEST_F(LogTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("1"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("2"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+}
+
+TEST_F(LogTest, ParseLogLevelRejectsGarbage) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("4"), std::nullopt);
+  EXPECT_EQ(parse_log_level("-1"), std::nullopt);
+  EXPECT_EQ(parse_log_level("err or"), std::nullopt);
+}
+
 TEST_F(LogTest, EmittingDoesNotThrow) {
   set_log_level(LogLevel::kDebug);
   EXPECT_NO_THROW(FEDVR_LOG_DEBUG << "debug " << 1);
