@@ -1,0 +1,97 @@
+#include "check/check.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace fedvr::check {
+
+namespace detail {
+
+namespace {
+bool enabled_from_env() {
+  const char* env = std::getenv("FEDVR_CHECKS");
+  if (env == nullptr) return true;
+  const std::string_view v(env);
+  return !(v == "0" || v == "off" || v == "OFF" || v == "false" ||
+           v == "FALSE");
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{enabled_from_env()};
+
+[[noreturn]] void shape_failure(const char* actual_expr,
+                                const char* expected_expr, std::size_t actual,
+                                std::size_t expected, const char* file,
+                                int line) {
+  std::ostringstream os;
+  os << "shape mismatch: " << actual_expr << " = " << actual << " but "
+     << expected_expr << " = " << expected;
+  util::detail::raise_check_failure("FEDVR_CHECK_SHAPE", file, line, os.str());
+}
+
+[[noreturn]] void index_failure(const char* index_expr, const char* bound_expr,
+                                std::size_t index, std::size_t bound,
+                                const char* file, int line) {
+  std::ostringstream os;
+  os << "index out of range: " << index_expr << " = " << index
+     << " must be < " << bound_expr << " = " << bound;
+  util::detail::raise_check_failure("FEDVR_CHECK_INDEX", file, line, os.str());
+}
+
+[[noreturn]] void finite_failure(const char* what, std::size_t index,
+                                 double value, const char* file, int line) {
+  std::ostringstream os;
+  os << "non-finite value in " << what << ": element " << index << " is "
+     << value;
+  util::detail::raise_check_failure("FEDVR_CHECK_FINITE", file, line,
+                                    os.str());
+}
+
+}  // namespace detail
+
+bool set_enabled(bool on) {
+  return detail::g_enabled.exchange(on, std::memory_order_relaxed);
+}
+
+bool active() { return kCompiledIn && enabled(); }
+
+std::size_t first_non_finite(std::span<const double> v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return i;
+  }
+  return v.size();
+}
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t fnv1a_bytes(std::uint64_t state, const unsigned char* bytes,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+}  // namespace
+
+std::uint64_t hash_span(std::span<const double> v) {
+  std::uint64_t state = kFnvOffset;
+  for (const double d : v) {
+    unsigned char bytes[sizeof d];
+    std::memcpy(bytes, &d, sizeof d);
+    state = fnv1a_bytes(state, bytes, sizeof d);
+  }
+  return state;
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  unsigned char bytes[sizeof value];
+  std::memcpy(bytes, &value, sizeof value);
+  return fnv1a_bytes(seed == 0 ? kFnvOffset : seed, bytes, sizeof value);
+}
+
+}  // namespace fedvr::check

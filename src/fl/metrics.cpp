@@ -61,8 +61,8 @@ void TrainingTrace::write_csv(const std::string& path) const {
                       {"algorithm", "round", "train_loss", "test_accuracy",
                        "grad_norm_sq", "model_time", "wall_seconds",
                        "mean_local_theta", "comm_bytes", "sample_grad_evals",
-                       "t_broadcast", "t_local_solve", "t_aggregate",
-                       "t_eval"});
+                       "param_hash", "t_broadcast", "t_local_solve",
+                       "t_aggregate", "t_eval"});
   for (const auto& r : rounds) {
     // Measured phase columns are -1 when the run was not profiled, matching
     // the grad_norm_sq "not evaluated" convention.
@@ -79,6 +79,7 @@ void TrainingTrace::write_csv(const std::string& path) const {
         .add(r.mean_local_theta)
         .add(r.comm_bytes)
         .add(r.sample_grad_evals)
+        .add(static_cast<std::size_t>(r.param_hash))
         .add(timings.broadcast)
         .add(timings.local_solve)
         .add(timings.aggregate)

@@ -1,6 +1,7 @@
 // Per-round metrics and the training trace written by every experiment.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,10 @@ struct RoundMetrics {
   std::size_t comm_bytes = 0;        // bytes moved device<->server
   std::size_t sample_grad_evals = 0; // per-sample gradient evaluations
 
+  /// FNV-1a hash of w̄^(s) (check::hash_span). Equal-seed runs must agree
+  /// round-for-round; a divergence pinpoints the first nondeterministic one.
+  std::uint64_t param_hash = 0;
+
   /// Measured phase timings (cumulative); present only when the trainer ran
   /// with observability enabled.
   std::optional<PhaseTimings> measured;
@@ -58,6 +63,8 @@ struct TrainingTrace {
   /// The global model w̄^(T) after the last round — checkpoint or deploy it
   /// (see nn::save_parameters).
   std::vector<double> final_parameters;
+  /// FNV-1a hash of final_parameters — the determinism-audit fingerprint.
+  std::uint64_t final_param_hash = 0;
 
   /// Measured timing-model estimate (observability runs only): compare
   /// measured_timing->round_time(tau) against TimingModel::round_time(tau).

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <numeric>
 
+#include "check/check.h"
 #include "obs/obs.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
@@ -229,9 +230,14 @@ TrainingTrace Trainer::run_impl(
         }
         tensor::fill(w_global, 0.0);
         for (std::size_t device : participants) {
+          FEDVR_CHECK_INDEX(device, locals.size());
+          FEDVR_CHECK_SHAPE(locals[device].size(), dim);
           tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
                                       locals[device], w_global);
         }
+        // One bad device poisons the averaged model for every later round;
+        // fail at the round that aggregated it.
+        FEDVR_CHECK_FINITE(w_global, "aggregated global model");
 
         if (options_.per_device_timing.empty()) {
           model_time += options_.timing.round_time(timing_tau);
@@ -274,6 +280,9 @@ TrainingTrace Trainer::run_impl(
         m.wall_seconds = wall.seconds();
         m.comm_bytes = total_comm_bytes;
         m.sample_grad_evals = total_grad_evals;
+        // Determinism audit: two runs with the same seed must produce
+        // bit-identical parameters, hence equal hashes, at every eval round.
+        m.param_hash = check::hash_span(w_global);
         if (obs_on) {
           const obs::PhaseTotals& totals = profiler.totals();
           m.measured =
@@ -308,6 +317,7 @@ TrainingTrace Trainer::run_impl(
     if (target_reached) break;
   }
   trace.final_parameters = std::move(w_global);
+  trace.final_param_hash = check::hash_span(trace.final_parameters);
 
   if (obs_on) {
     const obs::TimingEstimate est = profiler.estimate();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "nn/loss.h"
 #include "tensor/kernels.h"
 #include "tensor/vecops.h"
@@ -93,6 +94,9 @@ double FeedForwardModel::loss_and_gradient(
     value += 0.5 * l2_reg_ * tensor::nrm2_squared(w);
     tensor::axpy(l2_reg_, w, grad);
   }
+  // Model boundary: a non-finite gradient here silently corrupts every
+  // downstream estimator (SVRG/SARAH difference terms amplify it).
+  FEDVR_CHECK_FINITE(grad, "model gradient");
   return value;
 }
 

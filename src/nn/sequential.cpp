@@ -1,5 +1,6 @@
 #include "nn/sequential.h"
 
+#include "check/check.h"
 #include "util/error.h"
 
 namespace fedvr::nn {
@@ -47,8 +48,8 @@ std::span<const double> Sequential::forward(std::span<const double> w,
                                             std::span<const double> x,
                                             Workspace& ws,
                                             bool training) const {
-  FEDVR_CHECK(w.size() == total_params_);
-  FEDVR_CHECK(x.size() == batch * in_size());
+  FEDVR_CHECK_SHAPE(w.size(), total_params_);
+  FEDVR_CHECK_SHAPE(x.size(), batch * in_size());
   ws.activations.resize(layers_.size());
   if (training) ws.caches.resize(layers_.size());
   std::span<const double> current = x;
@@ -67,11 +68,13 @@ void Sequential::backward(std::span<const double> w, std::size_t batch,
                           std::span<const double> x,
                           std::span<const double> d_out, std::span<double> dw,
                           Workspace& ws) const {
-  FEDVR_CHECK(w.size() == total_params_ && dw.size() == total_params_);
-  FEDVR_CHECK(d_out.size() == batch * out_size());
+  FEDVR_CHECK_SHAPE(w.size(), total_params_);
+  FEDVR_CHECK_SHAPE(dw.size(), total_params_);
+  FEDVR_CHECK_SHAPE(d_out.size(), batch * out_size());
   FEDVR_CHECK_MSG(ws.caches.size() == layers_.size(),
                   "backward() without a training forward()");
   ws.grads.resize(layers_.size());
+  FEDVR_CHECK_FINITE(d_out, "sequential upstream gradient");
   std::span<const double> upstream = d_out;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     auto& d_in = ws.grads[i];
@@ -80,6 +83,9 @@ void Sequential::backward(std::span<const double> w, std::size_t batch,
                          batch, upstream, d_in,
                          dw.subspan(offsets_[i], layers_[i]->param_count()),
                          ws.caches[i]);
+    // A NaN born inside one layer's backward poisons every gradient below
+    // it; catching it at the boundary names the guilty layer.
+    FEDVR_CHECK_FINITE(d_in, layers_[i]->name().c_str());
     upstream = d_in;
   }
   (void)x;  // input gradient (ws.grads[0]) is available but unused here

@@ -20,6 +20,10 @@ extern std::atomic<bool> g_enabled;
 
 /// True when observability is collecting. Hot paths check this before
 /// touching any counter or span; a relaxed load, typically one instruction.
+// TSAN: relaxed is sufficient — the flag gates *whether* to record, never
+// publishes data. A thread that reads a stale value records (or skips) a
+// few extra samples around the toggle; both outcomes are race-free because
+// every metric it would touch is itself atomic or mutex-guarded.
 inline bool enabled() {
   return detail::g_enabled.load(std::memory_order_relaxed);
 }

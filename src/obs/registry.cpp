@@ -10,6 +10,8 @@ namespace fedvr::obs {
 namespace detail {
 
 std::size_t thread_slot() {
+  // TSAN: relaxed fetch_add only needs atomicity of the ticket draw; each
+  // thread's slot is then thread_local and never written again.
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t slot =
       next.fetch_add(1, std::memory_order_relaxed);

@@ -40,6 +40,8 @@ class Counter {
  public:
   static constexpr std::size_t kShards = 16;
 
+  // TSAN: relaxed fetch_add on an atomic shard is race-free by definition;
+  // no ordering is needed because no other data is published through it.
   void add(std::uint64_t delta = 1) {
     shards_[detail::thread_slot() % kShards].v.fetch_add(
         delta, std::memory_order_relaxed);
@@ -48,6 +50,9 @@ class Counter {
   /// Sum over shards. Not a point-in-time linearizable read while writers
   /// are active, but exact once writers have quiesced (e.g. after a
   /// parallel_for returns).
+  // TSAN: relaxed loads concurrent with writers are intentional — the sum
+  // may be stale but never torn; quiescence (pool join / future.get) gives
+  // the happens-before edge that makes the final read exact.
   [[nodiscard]] std::uint64_t value() const {
     std::uint64_t total = 0;
     for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
@@ -70,6 +75,9 @@ class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
 
+  // TSAN: the relaxed CAS loop is lock-free read-modify-write on a single
+  // atomic; concurrent add() calls serialize through the CAS, so no update
+  // is lost and no ordering beyond the atomicity itself is required.
   void add(double delta) {
     double cur = v_.load(std::memory_order_relaxed);
     while (!v_.compare_exchange_weak(cur, cur + delta,

@@ -71,8 +71,10 @@ struct BufferDirectory {
 };
 
 BufferDirectory& directory() {
-  static BufferDirectory* dir = new BufferDirectory();  // never destroyed:
-  // worker threads may record spans during process teardown.
+  // Worker threads may record spans during process teardown, after static
+  // destructors run, so the directory must outlive every static.
+  // lint:allow(no-naked-new) intentionally leaked teardown-safe singleton
+  static BufferDirectory* dir = new BufferDirectory();
   return *dir;
 }
 

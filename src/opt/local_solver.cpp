@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/check.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "tensor/vecops.h"
@@ -73,10 +74,9 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
                                      std::span<const double> anchor,
                                      util::Rng& rng) const {
   const std::size_t dim = model_->num_parameters();
-  FEDVR_CHECK_MSG(anchor.size() == dim,
-                  "anchor has " << anchor.size() << " parameters, model needs "
-                                << dim);
+  FEDVR_CHECK_SHAPE(anchor.size(), dim);
   FEDVR_CHECK_MSG(!train.empty(), "device has no training data");
+  FEDVR_CHECK_FINITE(anchor, "solver anchor w^(0)");
   const std::size_t n = train.size();
   const auto full_idx = nn::all_indices(n);
 
@@ -187,12 +187,16 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
       }
     }
     if (options_.observer) options_.observer(t, v, w_curr);
+    // A diverging FedProx run first shows up as NaN/Inf in the estimator
+    // direction or the prox output; catch it at the iteration that made it.
+    FEDVR_CHECK_FINITE(v, "estimator direction v^(t)");
     // Line 8: w^(t+1) = prox_{eta h_s}(w^(t) - eta v^(t)).
     const double eta_t = eta_at(t);
     tensor::copy(w_curr, step);
     tensor::axpy(-eta_t, v, step);
     w_prev.swap(w_curr);  // w_prev now holds w^(t)
     tensor::prox_quadratic(step, anchor, eta_t, options_.mu, w_curr);
+    FEDVR_CHECK_FINITE(w_curr, "local iterate w^(t+1)");
   }
 
   result.w = (options_.selection == IterateSelection::kUniformRandom &&

@@ -1,23 +1,22 @@
 #include "tensor/im2col.h"
 
+#include "check/check.h"
 #include "obs/registry.h"
-#include "util/error.h"
 
 namespace fedvr::tensor {
 
 namespace {
+// Geometry preconditions via the gated fedvr::check layer (im2col runs once
+// per sample per conv layer; the checks vanish under -DFEDVR_CHECKS=OFF).
 void check_geometry(const ConvGeometry& g, std::size_t image_size,
                     std::size_t cols_size) {
-  FEDVR_CHECK_MSG(g.height + 2 * g.pad >= g.kernel_h &&
+  FEDVR_CHECK_PRE(g.height + 2 * g.pad >= g.kernel_h &&
                       g.width + 2 * g.pad >= g.kernel_w,
-                  "kernel larger than padded image");
-  FEDVR_CHECK(g.stride >= 1);
-  FEDVR_CHECK_MSG(image_size == g.image_size(),
-                  "image buffer has " << image_size << " elements, expected "
-                                      << g.image_size());
-  FEDVR_CHECK_MSG(cols_size == g.col_rows() * g.out_pixels(),
-                  "cols buffer has " << cols_size << " elements, expected "
-                                     << g.col_rows() * g.out_pixels());
+                  "kernel " << g.kernel_h << "x" << g.kernel_w
+                            << " larger than padded image");
+  FEDVR_CHECK_PRE(g.stride >= 1, "stride must be at least 1");
+  FEDVR_CHECK_SHAPE(image_size, g.image_size());
+  FEDVR_CHECK_SHAPE(cols_size, g.col_rows() * g.out_pixels());
 }
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "check/check.h"
 #include "obs/registry.h"
 #include "util/error.h"
 
@@ -58,19 +59,21 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, double alpha, std::span<const double> a,
           std::size_t lda, std::span<const double> b, std::size_t ldb,
           double beta, std::span<double> c, std::size_t ldc) {
-  FEDVR_CHECK_MSG(ldc >= n, "gemm: ldc " << ldc << " < n " << n);
+  // Shape/stride preconditions via the gated fedvr::check layer: compiled
+  // out under -DFEDVR_CHECKS=OFF, skippable at runtime via FEDVR_CHECKS=0.
+  FEDVR_CHECK_PRE(ldc >= n, "gemm: ldc " << ldc << " < n " << n);
   const std::size_t a_rows = (trans_a == Trans::kNo) ? m : k;
   const std::size_t a_cols = (trans_a == Trans::kNo) ? k : m;
   const std::size_t b_rows = (trans_b == Trans::kNo) ? k : n;
   const std::size_t b_cols = (trans_b == Trans::kNo) ? n : k;
-  FEDVR_CHECK_MSG(lda >= a_cols, "gemm: lda too small");
-  FEDVR_CHECK_MSG(ldb >= b_cols, "gemm: ldb too small");
-  FEDVR_CHECK_MSG(a.size() >= (a_rows == 0 ? 0 : (a_rows - 1) * lda + a_cols),
-                  "gemm: A storage too small");
-  FEDVR_CHECK_MSG(b.size() >= (b_rows == 0 ? 0 : (b_rows - 1) * ldb + b_cols),
-                  "gemm: B storage too small");
-  FEDVR_CHECK_MSG(c.size() >= (m == 0 ? 0 : (m - 1) * ldc + n),
-                  "gemm: C storage too small");
+  FEDVR_CHECK_PRE(lda >= a_cols, "gemm: lda " << lda << " < " << a_cols);
+  FEDVR_CHECK_PRE(ldb >= b_cols, "gemm: ldb " << ldb << " < " << b_cols);
+  FEDVR_CHECK_PRE(a.size() >= (a_rows == 0 ? 0 : (a_rows - 1) * lda + a_cols),
+                  "gemm: A storage " << a.size() << " too small");
+  FEDVR_CHECK_PRE(b.size() >= (b_rows == 0 ? 0 : (b_rows - 1) * ldb + b_cols),
+                  "gemm: B storage " << b.size() << " too small");
+  FEDVR_CHECK_PRE(c.size() >= (m == 0 ? 0 : (m - 1) * ldc + n),
+                  "gemm: C storage " << c.size() << " too small");
 
   // Scale C by beta first (handles beta == 0 without reading C garbage:
   // storage is always initialized doubles in this codebase).
@@ -118,11 +121,12 @@ void gemm_packed(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
 void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
           std::span<const double> a, std::span<const double> x, double beta,
           std::span<double> y) {
-  FEDVR_CHECK_MSG(a.size() >= rows * cols, "gemv: A storage too small");
+  FEDVR_CHECK_PRE(a.size() >= rows * cols,
+                  "gemv: A storage " << a.size() << " < " << rows * cols);
   const std::size_t x_len = (trans == Trans::kNo) ? cols : rows;
   const std::size_t y_len = (trans == Trans::kNo) ? rows : cols;
-  FEDVR_CHECK_MSG(x.size() == x_len, "gemv: x has wrong length");
-  FEDVR_CHECK_MSG(y.size() == y_len, "gemv: y has wrong length");
+  FEDVR_CHECK_SHAPE(x.size(), x_len);
+  FEDVR_CHECK_SHAPE(y.size(), y_len);
   if (beta == 0.0) {
     std::fill(y.begin(), y.end(), 0.0);
   } else if (beta != 1.0) {
@@ -149,21 +153,23 @@ void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
 }
 
 void relu(std::span<const double> x, std::span<double> out) {
-  FEDVR_CHECK(x.size() == out.size());
+  FEDVR_CHECK_SHAPE(x.size(), out.size());
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) out[i] = x[i] > 0.0 ? x[i] : 0.0;
 }
 
 void relu_backward(std::span<const double> x, std::span<const double> dy,
                    std::span<double> dx) {
-  FEDVR_CHECK(x.size() == dy.size() && x.size() == dx.size());
+  FEDVR_CHECK_SHAPE(x.size(), dy.size());
+  FEDVR_CHECK_SHAPE(x.size(), dx.size());
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) dx[i] = x[i] > 0.0 ? dy[i] : 0.0;
 }
 
 void softmax_rows(std::size_t rows, std::size_t cols,
                   std::span<const double> logits, std::span<double> probs) {
-  FEDVR_CHECK(logits.size() == rows * cols && probs.size() == rows * cols);
+  FEDVR_CHECK_SHAPE(logits.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(probs.size(), rows * cols);
   for (std::size_t i = 0; i < rows; ++i) {
     const double* in = logits.data() + i * cols;
     double* out = probs.data() + i * cols;
@@ -181,7 +187,8 @@ void softmax_rows(std::size_t rows, std::size_t cols,
 
 void argmax_rows(std::size_t rows, std::size_t cols,
                  std::span<const double> x, std::span<std::size_t> out) {
-  FEDVR_CHECK(x.size() == rows * cols && out.size() == rows);
+  FEDVR_CHECK_SHAPE(x.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(out.size(), rows);
   for (std::size_t i = 0; i < rows; ++i) {
     const double* row = x.data() + i * cols;
     std::size_t best = 0;
@@ -194,7 +201,8 @@ void argmax_rows(std::size_t rows, std::size_t cols,
 
 void add_bias_rows(std::size_t rows, std::size_t cols, std::span<double> x,
                    std::span<const double> bias) {
-  FEDVR_CHECK(x.size() == rows * cols && bias.size() == cols);
+  FEDVR_CHECK_SHAPE(x.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(bias.size(), cols);
   for (std::size_t i = 0; i < rows; ++i) {
     double* row = x.data() + i * cols;
     for (std::size_t j = 0; j < cols; ++j) row[j] += bias[j];
@@ -203,7 +211,8 @@ void add_bias_rows(std::size_t rows, std::size_t cols, std::span<double> x,
 
 void sum_rows(std::size_t rows, std::size_t cols, std::span<const double> dy,
               std::span<double> bias_grad) {
-  FEDVR_CHECK(dy.size() == rows * cols && bias_grad.size() == cols);
+  FEDVR_CHECK_SHAPE(dy.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(bias_grad.size(), cols);
   std::fill(bias_grad.begin(), bias_grad.end(), 0.0);
   for (std::size_t i = 0; i < rows; ++i) {
     const double* row = dy.data() + i * cols;

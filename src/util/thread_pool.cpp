@@ -39,6 +39,10 @@ void ThreadPool::note_dequeued() {
   obs::Registry::global().gauge("pool.queue_depth").add(-1.0);
 }
 
+// TSAN: all queue and stopping_ state is exchanged under mutex_, and
+// submit()'s std::future provides the release/acquire edge that publishes a
+// task's side effects to the waiter. The only lock-free traffic here is the
+// obs counters above, which are sharded atomics (see obs/registry.h).
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

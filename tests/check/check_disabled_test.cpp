@@ -1,0 +1,56 @@
+// Compiled with FEDVR_CHECKS_DISABLED defined for this translation unit
+// (see tests/CMakeLists.txt): proves the FEDVR_CHECK_* macros are true
+// no-ops when compiled out — no throw, and no argument evaluation at all —
+// independent of how the fedvr_check library itself was built.
+#define FEDVR_CHECKS_DISABLED
+
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace fedvr::check {
+namespace {
+
+TEST(CheckDisabled, CompiledOutInThisTranslationUnit) {
+  EXPECT_FALSE(kCompiledIn);
+}
+
+TEST(CheckDisabled, MacrosDoNotThrowOnViolations) {
+  const bool previous = set_enabled(true);  // runtime toggle must not matter
+  const std::vector<double> v = {std::nan("")};
+  FEDVR_CHECK_SHAPE(v.size(), 99U);
+  FEDVR_CHECK_INDEX(7U, 3U);
+  FEDVR_CHECK_FINITE(std::span<const double>(v), "poisoned");
+  FEDVR_CHECK_PRE(false, "unreachable");
+  set_enabled(previous);
+  SUCCEED();
+}
+
+TEST(CheckDisabled, MacroArgumentsAreNeverEvaluated) {
+  const bool previous = set_enabled(true);
+  int evaluations = 0;
+  auto counted = [&evaluations](std::size_t x) {
+    ++evaluations;
+    return x;
+  };
+  FEDVR_CHECK_SHAPE(counted(1), counted(2));
+  FEDVR_CHECK_INDEX(counted(9), counted(3));
+  FEDVR_CHECK_PRE(counted(0) == 1, "zero overhead means zero evaluations");
+  EXPECT_EQ(evaluations, 0);
+  set_enabled(previous);
+}
+
+TEST(CheckDisabled, HashingStaysAvailableWhenChecksAreOut) {
+  // The determinism-audit helpers are plain functions, not macros; a
+  // checks-off Release build still hashes parameter vectors.
+  const std::vector<double> w = {1.0, 2.0};
+  EXPECT_EQ(hash_span(w), hash_span(w));
+  EXPECT_NE(hash_span(w), 0U);
+}
+
+}  // namespace
+}  // namespace fedvr::check

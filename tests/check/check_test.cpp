@@ -1,0 +1,180 @@
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/models.h"
+#include "tensor/kernels.h"
+#include "tensor/shape.h"
+#include "util/error.h"
+
+namespace fedvr::check {
+namespace {
+
+using fedvr::util::Error;
+
+// Restores the process-global runtime toggle so tests cannot leak state
+// into each other (gtest runs every suite in one process).
+class ScopedChecks {
+ public:
+  explicit ScopedChecks(bool on) : previous_(set_enabled(on)) {}
+  ScopedChecks(const ScopedChecks&) = delete;
+  ScopedChecks& operator=(const ScopedChecks&) = delete;
+  ~ScopedChecks() { set_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST(Check, ShapeMismatchTrips) {
+  if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
+  ScopedChecks on(true);
+  const std::vector<double> x(3);
+  try {
+    FEDVR_CHECK_SHAPE(x.size(), 4U);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("shape mismatch"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+  FEDVR_CHECK_SHAPE(x.size(), 3U);  // equal shapes pass
+}
+
+TEST(Check, IndexOutOfRangeTrips) {
+  if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
+  ScopedChecks on(true);
+  FEDVR_CHECK_INDEX(2U, 3U);
+  try {
+    FEDVR_CHECK_INDEX(3U, 3U);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("index out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, FiniteTripsOnNanAndInfWithElementIndex) {
+  if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
+  ScopedChecks on(true);
+  std::vector<double> v = {0.0, 1.0, std::nan(""), 2.0};
+  try {
+    FEDVR_CHECK_FINITE(std::span<const double>(v), "test vector");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite value in test vector"),
+              std::string::npos);
+    EXPECT_NE(what.find("element 2"), std::string::npos);
+  }
+  v[2] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(FEDVR_CHECK_FINITE(std::span<const double>(v), "v"), Error);
+  v[2] = 0.5;
+  FEDVR_CHECK_FINITE(std::span<const double>(v), "v");  // all finite passes
+}
+
+TEST(Check, PreconditionTripsWithStreamedContext) {
+  if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
+  ScopedChecks on(true);
+  const int n = 7;
+  try {
+    FEDVR_CHECK_PRE(n > 10, "need more than ten, got " << n);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("need more than ten, got 7"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, RuntimeDisableSkipsChecksAndArgumentEvaluation) {
+  if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
+  ScopedChecks off(false);
+  int evaluations = 0;
+  auto counted = [&evaluations](std::size_t v) {
+    ++evaluations;
+    return v;
+  };
+  FEDVR_CHECK_SHAPE(counted(1), counted(2));
+  FEDVR_CHECK_INDEX(counted(9), counted(3));
+  FEDVR_CHECK_PRE(counted(0) == 1, "never evaluated");
+  EXPECT_EQ(evaluations, 0);  // disabled checks cost one load, nothing else
+  EXPECT_FALSE(active());
+}
+
+TEST(Check, SetEnabledReturnsPreviousState) {
+  const bool original = set_enabled(true);
+  EXPECT_TRUE(set_enabled(false));
+  EXPECT_FALSE(set_enabled(original));
+}
+
+TEST(Check, GemmShapePreconditionTripsThroughKernel) {
+  if (!active()) GTEST_SKIP() << "fedvr::check inactive";
+  ScopedChecks on(true);
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> x = {1.0};  // gemv expects length 2
+  std::vector<double> y(2);
+  EXPECT_THROW(tensor::gemv(tensor::Trans::kNo, 2, 2, 1.0, a, x, 0.0, y),
+               Error);
+}
+
+TEST(Check, NanGradientTripsAtModelBoundary) {
+  if (!active()) GTEST_SKIP() << "fedvr::check inactive";
+  ScopedChecks on(true);
+  auto model = nn::make_logistic_regression(/*input_dim=*/3,
+                                            /*num_classes=*/2);
+  data::Dataset ds(tensor::Shape({3}), /*n=*/2, /*num_classes=*/2);
+  ds.mutable_sample(0)[0] = 1.0;
+  ds.mutable_sample(1)[1] = std::nan("");  // one poisoned feature
+  ds.set_label(0, 0);
+  ds.set_label(1, 1);
+  const std::vector<std::size_t> idx = {0, 1};
+  std::vector<double> w(model->num_parameters(), 0.1);
+  std::vector<double> grad(model->num_parameters());
+  EXPECT_THROW((void)model->loss_and_gradient(w, ds, idx, grad), Error);
+}
+
+TEST(Check, HashSpanIsDeterministicAndBitSensitive) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_EQ(hash_span(a), hash_span(b));
+
+  std::vector<double> flipped = a;
+  flipped[1] = std::nextafter(flipped[1], 10.0);  // one-ulp change
+  EXPECT_NE(hash_span(a), hash_span(flipped));
+
+  const std::vector<double> reordered = {2.0, 1.0, 3.0};
+  EXPECT_NE(hash_span(a), hash_span(reordered));
+
+  // +0.0 and -0.0 compare equal but are different bit patterns; the
+  // determinism audit must distinguish them.
+  const std::vector<double> pos_zero = {0.0};
+  const std::vector<double> neg_zero = {-0.0};
+  EXPECT_NE(hash_span(pos_zero), hash_span(neg_zero));
+}
+
+TEST(Check, HashCombineFoldsOrderSensitively) {
+  const std::uint64_t h1 = hash_combine(hash_combine(0, 1), 2);
+  const std::uint64_t h2 = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 1), 2));
+}
+
+TEST(Check, FirstNonFiniteFindsEarliestOffender) {
+  const std::vector<double> clean = {1.0, 2.0};
+  EXPECT_EQ(first_non_finite(clean), clean.size());
+  EXPECT_TRUE(all_finite(clean));
+  const std::vector<double> dirty = {
+      1.0, std::numeric_limits<double>::infinity(), std::nan("")};
+  EXPECT_EQ(first_non_finite(dirty), 1U);
+  EXPECT_FALSE(all_finite(dirty));
+}
+
+}  // namespace
+}  // namespace fedvr::check

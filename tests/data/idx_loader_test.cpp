@@ -7,6 +7,7 @@
 #include <fstream>
 #include <vector>
 
+#include "testing/temp_dir.h"
 #include "util/error.h"
 
 namespace fedvr::data {
@@ -26,8 +27,7 @@ void write_be32(std::ofstream& out, std::uint32_t v) {
 class IdxLoaderTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "fedvr_idx_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = testing::make_temp_dir("fedvr_idx_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

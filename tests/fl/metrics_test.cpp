@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "fl/timing_model.h"
+#include "testing/temp_dir.h"
 #include "util/error.h"
 
 namespace fedvr::fl {
@@ -69,9 +70,7 @@ TEST(TrainingTrace, DivergenceDetector) {
 
 TEST(TrainingTrace, WriteCsvRoundTrips) {
   auto t = make_trace({0.7, 0.6}, {0.5, 0.55});
-  const auto dir =
-      std::filesystem::temp_directory_path() / "fedvr_metrics_test";
-  std::filesystem::create_directories(dir);
+  const auto dir = testing::make_temp_dir("fedvr_metrics_test");
   const std::string path = (dir / "trace.csv").string();
   t.write_csv(path);
   std::ifstream in(path);
@@ -82,8 +81,8 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   EXPECT_EQ(header,
             "algorithm,round,train_loss,test_accuracy,grad_norm_sq,"
             "model_time,wall_seconds,mean_local_theta,comm_bytes,"
-            "sample_grad_evals,t_broadcast,t_local_solve,t_aggregate,"
-            "t_eval");
+            "sample_grad_evals,param_hash,t_broadcast,t_local_solve,"
+            "t_aggregate,t_eval");
   EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
   EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
   std::filesystem::remove_all(dir);

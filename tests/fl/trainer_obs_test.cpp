@@ -13,6 +13,7 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "testing/quadratic_model.h"
+#include "testing/temp_dir.h"
 #include "util/error.h"
 
 namespace fedvr::fl {
@@ -55,8 +56,7 @@ class TrainerObsTest : public ::testing::Test {
   void SetUp() override {
     prev_ = obs::set_enabled(false);
     obs::clear_spans();
-    dir_ = std::filesystem::temp_directory_path() / "fedvr_trainer_obs_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = testing::make_temp_dir("fedvr_trainer_obs_test");
   }
   void TearDown() override {
     obs::clear_spans();

@@ -11,6 +11,7 @@
 #include "data/synthetic.h"
 #include "nn/checkpoint.h"
 #include "nn/models.h"
+#include "testing/temp_dir.h"
 #include "theory/bounds.h"
 #include "theory/heterogeneity.h"
 #include "theory/smoothness.h"
@@ -21,8 +22,7 @@ namespace {
 class PipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "fedvr_pipeline_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = testing::make_temp_dir("fedvr_pipeline_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
   std::string path(const std::string& name) const {

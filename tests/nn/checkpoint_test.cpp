@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "nn/models.h"
+#include "testing/temp_dir.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -18,8 +19,7 @@ using fedvr::util::Rng;
 class CheckpointTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "fedvr_ckpt_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = fedvr::testing::make_temp_dir("fedvr_ckpt_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
   std::string path(const std::string& name) const {

@@ -1,0 +1,25 @@
+// Per-process unique scratch directories for tests that write files.
+//
+// ctest -j runs every gtest case as its own process; with a *fixed* name
+// under /tmp, two concurrent cases of the same suite share a directory and
+// one process's TearDown remove_all() deletes the other's files mid-test.
+// Flaky at default speed, near-certain under the sanitizer builds' slowdown.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+namespace fedvr::testing {
+
+/// Creates and returns <tmp>/<prefix>.<pid>, unique per test process so
+/// parallel ctest invocations of the same suite cannot collide.
+inline std::filesystem::path make_temp_dir(const std::string& prefix) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (prefix + "." + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace fedvr::testing

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "testing/temp_dir.h"
 #include "util/error.h"
 
 namespace fedvr::util {
@@ -15,8 +16,7 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "fedvr_csv_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = testing::make_temp_dir("fedvr_csv_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

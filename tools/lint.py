@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules that clang-tidy cannot express.
+
+Run from the repository root (CI does):  python3 tools/lint.py
+
+Rules, each tied to a repo invariant:
+
+  no-std-rand       std::rand / srand / std::random_device outside
+                    src/util/rng.*: every random draw must flow through
+                    util::Rng so runs are reproducible from one seed (the
+                    determinism test hashes parameter vectors on exactly
+                    this assumption).
+
+  no-iostream-in-headers
+                    <iostream> in a header pulls the global ios_base::Init
+                    static into every TU and invites debug-print creep;
+                    headers stream into std::ostream& or util::log instead.
+
+  headers-obs-free  Outside src/obs/, headers must not include obs headers.
+                    Observability is an implementation detail of .cpp files
+                    (thread_pool.cpp, trainer.cpp): keeping it out of
+                    interfaces means -DFEDVR_OBS_DISABLED rebuilds touch
+                    only leaf objects, and no public API depends on it.
+
+  no-naked-new      `new` / `delete` outside make_unique/make_shared: all
+                    ownership in this codebase is RAII (unique_ptr /
+                    vector); a naked new is either a leak or a smell.
+
+False positives are silenced with `// lint:allow(<rule>) <why>` on the
+offending line or the line directly above it — the justification is
+mandatory and shows up in review.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+CPP_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s+\S")
+
+# (rule, pattern, file-filter, message)
+RULES = [
+    (
+        "no-std-rand",
+        re.compile(r"\b(std::rand\b|std::srand\b|\bsrand\s*\(|std::random_device\b)"),
+        lambda p: not (p.parent == SRC / "util" and p.stem == "rng"),
+        "random draws must go through util::Rng (seeded, fork-able) "
+        "so training runs stay reproducible",
+    ),
+    (
+        "no-iostream-in-headers",
+        re.compile(r'#\s*include\s*<iostream>'),
+        lambda p: p.suffix in HEADER_SUFFIXES,
+        "headers must not include <iostream>; take a std::ostream& "
+        "or use util/log.h",
+    ),
+    (
+        "headers-obs-free",
+        re.compile(r'#\s*include\s*"obs/'),
+        lambda p: p.suffix in HEADER_SUFFIXES
+        and (SRC / "obs") not in p.parents,
+        "observability stays out of interfaces: include obs/ headers "
+        "from .cpp files only",
+    ),
+    (
+        "no-naked-new",
+        re.compile(r"(?<![:\w])new\s+[A-Za-z_:][\w:<>, ]*[({\[]|\bdelete\s+\w|\bdelete\[\]"),
+        lambda p: True,
+        "no naked new/delete; use std::make_unique / std::make_shared "
+        "or a container",
+    ),
+]
+
+COMMENT_OR_STRING = re.compile(r'//.*$|"(?:[^"\\]|\\.)*"')
+
+
+def strippable(line: str) -> str:
+    """Blanks out comments and string literals so rules match only code."""
+    return COMMENT_OR_STRING.sub(lambda m: " " * len(m.group(0)), line)
+
+
+def lint_file(path: Path) -> list[str]:
+    errors = []
+    rel = path.relative_to(REPO)
+    prev_allow = None
+    for lineno, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        allow = ALLOW.search(raw) or prev_allow
+        prev_allow = ALLOW.search(raw)
+        code = strippable(raw)
+        for rule, pattern, applies, message in RULES:
+            if not applies(path):
+                continue
+            # Include rules must look at the raw line (the pattern IS the
+            # directive); code rules look at comment/string-stripped text.
+            haystack = raw if pattern.pattern.startswith("#") else code
+            if not pattern.search(haystack):
+                continue
+            if allow and allow.group(1) == rule:
+                continue
+            errors.append(f"{rel}:{lineno}: [{rule}] {message}")
+    return errors
+
+
+def main() -> int:
+    files = sorted(
+        p
+        for p in SRC.rglob("*")
+        if p.suffix in CPP_SUFFIXES and p.is_file()
+    )
+    if not files:
+        print("tools/lint.py: no sources found under src/", file=sys.stderr)
+        return 2
+    errors = []
+    for path in files:
+        errors.extend(lint_file(path))
+    for e in errors:
+        print(e)
+    print(
+        f"tools/lint.py: {len(files)} files checked, "
+        f"{len(errors)} violation(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
