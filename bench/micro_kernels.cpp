@@ -14,6 +14,7 @@
 #include "tensor/kernels.h"
 #include "tensor/vecops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -33,7 +34,67 @@ void BM_GemmSquare(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The exact GEMM shapes the CNN's conv layers hit through im2col:
+// m = out_channels, n = out_pixels, k = col_rows. Range(0) selects the layer.
+void BM_GemmConvShape(benchmark::State& state) {
+  const tensor::ConvGeometry g =
+      state.range(0) == 1
+          ? tensor::ConvGeometry{.channels = 1,
+                                 .height = 28,
+                                 .width = 28,
+                                 .kernel_h = 5,
+                                 .kernel_w = 5,
+                                 .pad = 2,
+                                 .stride = 1}
+          : tensor::ConvGeometry{.channels = 32,
+                                 .height = 14,
+                                 .width = 14,
+                                 .kernel_h = 5,
+                                 .kernel_w = 5,
+                                 .pad = 2,
+                                 .stride = 1};
+  const std::size_t m = state.range(0) == 1 ? 32 : 64;  // out channels
+  const std::size_t n = g.out_pixels();
+  const std::size_t k = g.col_rows();
+  util::Rng rng(4);
+  std::vector<double> w(m * k), cols(k * n), out(m * n);
+  for (auto& v : w) v = rng.normal();
+  for (auto& v : cols) v = rng.normal();
+  for (auto _ : state) {
+    tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kNo, m, n, k, 1.0,
+                        w, cols, 0.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * n * k));
+}
+BENCHMARK(BM_GemmConvShape)->Arg(1)->Arg(2);
+
+// Same 256^3 GEMM with the global pool pinned to range(1) threads (0 =
+// hardware default), to expose the threaded-vs-serial kernel speedup.
+// reset_global is safe here: benchmarks run one at a time, nothing else is
+// in flight.
+void BM_GemmPoolSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::ThreadPool::reset_global(static_cast<std::size_t>(state.range(1)));
+  util::Rng rng(1);
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kNo, n, n, n, 1.0,
+                        a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+  util::ThreadPool::reset_global(0);
+}
+BENCHMARK(BM_GemmPoolSize)
+    ->Args({256, 1})   // serial kernel
+    ->Args({256, 0});  // full hardware pool
 
 void BM_Im2col28x28(benchmark::State& state) {
   tensor::ConvGeometry g{.channels = 1,

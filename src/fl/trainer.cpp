@@ -13,6 +13,7 @@
 #include "util/error.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fedvr::fl {
 
@@ -61,26 +62,75 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
   }
 }
 
+// The eval path dominates wall time at eval_every=1, so all three metrics
+// fan out across the pool. Determinism across pool sizes holds because
+// every floating-point reduction happens serially in ascending device (or
+// chunk) order over per-device partials — only the independent per-device
+// work is scheduled onto threads.
+
 double Trainer::global_loss(std::span<const double> w) const {
+  const std::size_t num_devices = fed_.num_devices();
+  std::vector<double> per_device(num_devices, 0.0);
+  util::ThreadPool::global().parallel_for(0, num_devices, [&](std::size_t n) {
+    per_device[n] = model_->full_loss(w, fed_.train[n]);
+  });
   double loss = 0.0;
-  for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
-    loss += fed_.weight(n) * model_->full_loss(w, fed_.train[n]);
+  for (std::size_t n = 0; n < num_devices; ++n) {
+    loss += fed_.weight(n) * per_device[n];
   }
   return loss;
 }
 
 double Trainer::global_grad_norm_sq(std::span<const double> w) const {
-  std::vector<double> total(model_->num_parameters(), 0.0);
-  std::vector<double> local(model_->num_parameters());
-  for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
-    (void)model_->full_gradient(w, fed_.train[n], local);
-    tensor::axpy(fed_.weight(n), local, total);
+  const std::size_t dim = model_->num_parameters();
+  const std::size_t num_devices = fed_.num_devices();
+  // Per-device gradients land in wave-local scratch (kWave * dim bounds the
+  // footprint however many devices there are) and are folded into the total
+  // serially, ascending by device index.
+  constexpr std::size_t kWave = 4;
+  const std::size_t wave = std::min(kWave, num_devices);
+  std::vector<double> total(dim, 0.0);
+  std::vector<double> scratch(wave * dim);
+  for (std::size_t base = 0; base < num_devices; base += wave) {
+    const std::size_t count = std::min(wave, num_devices - base);
+    util::ThreadPool::global().parallel_for(0, count, [&](std::size_t i) {
+      (void)model_->full_gradient(
+          w, fed_.train[base + i],
+          std::span<double>(scratch).subspan(i * dim, dim));
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      tensor::axpy(fed_.weight(base + i),
+                   std::span<const double>(scratch).subspan(i * dim, dim),
+                   total);
+    }
   }
   return tensor::nrm2_squared(total);
 }
 
 double Trainer::test_accuracy(std::span<const double> w) const {
-  return model_->accuracy(w, pooled_test_);
+  FEDVR_CHECK(!pooled_test_.empty());
+  const std::size_t size = pooled_test_.size();
+  // Fixed-size chunks (never pool-sized) keep the per-sample forward-pass
+  // batching identical across pool sizes; the correct-count reduction is
+  // integer arithmetic, so it is order-independent anyway.
+  constexpr std::size_t kChunk = 256;
+  const std::size_t nchunks = (size + kChunk - 1) / kChunk;
+  const std::vector<std::size_t> indices = nn::all_indices(size);
+  std::vector<std::size_t> predicted(size);
+  util::ThreadPool::global().parallel_for(0, nchunks, [&](std::size_t c) {
+    const std::size_t lo = c * kChunk;
+    const std::size_t len = std::min(kChunk, size - lo);
+    model_->predict(w, pooled_test_,
+                    std::span<const std::size_t>(indices).subspan(lo, len),
+                    std::span<std::size_t>(predicted).subspan(lo, len));
+  });
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (predicted[i] == static_cast<std::size_t>(pooled_test_.label(i))) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(size);
 }
 
 TrainingTrace Trainer::run(const opt::LocalSolver& solver,

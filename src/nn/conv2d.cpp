@@ -1,13 +1,25 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "tensor/kernels.h"
 #include "tensor/random_init.h"
 #include "tensor/vecops.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace fedvr::nn {
+
+namespace {
+
+// Samples per weight-gradient accumulation block in backward(). The block
+// structure is fixed by this constant alone — never by the pool size — so
+// the dW reduction order (ascending sample within a block, ascending block)
+// is identical for serial and parallel runs: the determinism contract.
+constexpr std::size_t kGradBlock = 4;
+
+}  // namespace
 
 Conv2dLayer::Conv2dLayer(tensor::ConvGeometry geometry,
                          std::size_t out_channels)
@@ -37,11 +49,13 @@ void Conv2dLayer::forward(std::span<const double> w, std::size_t batch,
   const auto weights = w.subspan(0, out_channels_ * col_rows);
   const auto bias = w.subspan(out_channels_ * col_rows, out_channels_);
 
-  // Caching im2col columns for every sample would cost
-  // batch*col_rows*pixels doubles (tens of MB for the paper's CNN), so only
-  // the input is cached and backward recomputes the columns per sample.
-  std::vector<double> cols(col_rows * pixels);
-  for (std::size_t s = 0; s < batch; ++s) {
+  // Samples are independent and write disjoint slices of y, so the batch
+  // fans out across the pool; each worker keeps its own im2col scratch
+  // (caching columns for every sample at once would cost
+  // batch*col_rows*pixels doubles — tens of MB for the paper's CNN).
+  util::ThreadPool::global().parallel_for(0, batch, [&](std::size_t s) {
+    thread_local std::vector<double> cols;
+    tensor::scratch_resize(cols, col_rows * pixels);
     const auto image = x.subspan(s * in_size(), in_size());
     auto out = y.subspan(s * out_size(), out_size());
     tensor::im2col(geometry_, image, cols);
@@ -53,7 +67,7 @@ void Conv2dLayer::forward(std::span<const double> w, std::size_t batch,
       const double b = bias[oc];
       for (std::size_t p = 0; p < pixels; ++p) plane[p] += b;
     }
-  }
+  });
   if (cache != nullptr) cache->input.assign(x.begin(), x.end());
 }
 
@@ -72,31 +86,58 @@ void Conv2dLayer::backward(std::span<const double> w, std::size_t batch,
   auto d_bias = dw.subspan(out_channels_ * col_rows, out_channels_);
   const std::span<const double> input = cache.input;
 
-  std::vector<double> cols(col_rows * pixels);
-  std::vector<double> d_cols(col_rows * pixels);
-  for (std::size_t s = 0; s < batch; ++s) {
-    const auto image = input.subspan(s * in_size(), in_size());
-    const auto d_out = dy.subspan(s * out_size(), out_size());
-    auto d_image = dx.subspan(s * in_size(), in_size());
+  // dx is disjoint per sample, but dW/db sum over the batch. Each
+  // kGradBlock-sample block accumulates into its own partial buffer in
+  // parallel; the partials are then reduced serially in ascending block
+  // order, so the floating-point reduction tree never depends on thread
+  // scheduling.
+  const std::size_t nblocks = (batch + kGradBlock - 1) / kGradBlock;
+  const std::size_t wsize = out_channels_ * col_rows;
+  const std::size_t psize = wsize + out_channels_;  // dW partial + db partial
+  std::vector<double> partials(nblocks * psize, 0.0);
 
-    // dW (oc x col_rows) += d_out (oc x pixels) * cols^T (pixels x col_rows)
-    tensor::im2col(geometry_, image, cols);
-    tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kYes,
-                        out_channels_, col_rows, pixels, 1.0, d_out, cols,
-                        1.0, d_weights);
-    // db[oc] += sum over pixels of d_out(oc, .)
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const double* plane = d_out.data() + oc * pixels;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < pixels; ++p) acc += plane[p];
-      d_bias[oc] += acc;
+  util::ThreadPool::global().parallel_for(0, nblocks, [&](std::size_t blk) {
+    thread_local std::vector<double> cols;
+    thread_local std::vector<double> d_cols;
+    tensor::scratch_resize(cols, col_rows * pixels);
+    tensor::scratch_resize(d_cols, col_rows * pixels);
+    auto pw = std::span<double>(partials).subspan(blk * psize, wsize);
+    auto pb = std::span<double>(partials).subspan(blk * psize + wsize,
+                                                  out_channels_);
+    const std::size_t s_end = std::min(batch, (blk + 1) * kGradBlock);
+    for (std::size_t s = blk * kGradBlock; s < s_end; ++s) {
+      const auto image = input.subspan(s * in_size(), in_size());
+      const auto d_out = dy.subspan(s * out_size(), out_size());
+      auto d_image = dx.subspan(s * in_size(), in_size());
+
+      // pw (oc x col_rows) += d_out (oc x pixels) * cols^T (pixels x
+      // col_rows)
+      tensor::im2col(geometry_, image, cols);
+      tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kYes,
+                          out_channels_, col_rows, pixels, 1.0, d_out, cols,
+                          1.0, pw);
+      // pb[oc] += sum over pixels of d_out(oc, .)
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const double* plane = d_out.data() + oc * pixels;
+        double acc = 0.0;
+        for (std::size_t p = 0; p < pixels; ++p) acc += plane[p];
+        pb[oc] += acc;
+      }
+      // d_cols (col_rows x pixels) = W^T (col_rows x oc) * d_out (oc x
+      // pixels)
+      tensor::gemm_packed(tensor::Trans::kYes, tensor::Trans::kNo, col_rows,
+                          pixels, out_channels_, 1.0, weights, d_out, 0.0,
+                          d_cols);
+      tensor::fill(d_image, 0.0);
+      tensor::col2im(geometry_, d_cols, d_image);
     }
-    // d_cols (col_rows x pixels) = W^T (col_rows x oc) * d_out (oc x pixels)
-    tensor::gemm_packed(tensor::Trans::kYes, tensor::Trans::kNo, col_rows,
-                        pixels, out_channels_, 1.0, weights, d_out, 0.0,
-                        d_cols);
-    tensor::fill(d_image, 0.0);
-    tensor::col2im(geometry_, d_cols, d_image);
+  });
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const auto part = std::span<const double>(partials)
+                          .subspan(blk * psize, psize);
+    tensor::axpy(1.0, part.subspan(0, wsize), d_weights);
+    tensor::axpy(1.0, part.subspan(wsize, out_channels_), d_bias);
   }
 }
 

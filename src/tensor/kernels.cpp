@@ -8,14 +8,67 @@
 #include "check/check.h"
 #include "obs/registry.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace fedvr::tensor {
 
+void scratch_resize(std::vector<double>& buf, std::size_t n) {
+  if (buf.capacity() > kScratchCapDoubles && n <= kScratchCapDoubles) {
+    std::vector<double>().swap(buf);
+  }
+  buf.resize(n);
+}
+
 namespace {
+
+// Runtime-dispatched SIMD: on x86-64 GCC additionally emits an AVX2+FMA
+// (x86-64-v3) clone of each hot kernel and binds the best one at load time
+// via IFUNC, so a single binary is portable yet uses the wide units where
+// they exist. FMA contraction changes rounding relative to the default
+// clone, but the selected clone is fixed per machine, which is all the
+// determinism contract (bit-identical runs on one host) requires.
+// Sanitizer builds must not use target_clones: the IFUNC resolvers it
+// emits run during relocation, before the sanitizer runtime initializes,
+// and crash at process start.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define FEDVR_KERNEL_CLONES \
+  __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define FEDVR_KERNEL_CLONES
+#endif
+
+// ---- Blocked-GEMM parameters (rationale in DESIGN.md §10) ----
+//
+// The microkernel accumulates an MR x NR tile of C in registers while
+// streaming a packed MR-wide sliver of A against an NR-wide sliver of B.
+// A blocks (MC x KC, 128 KiB) target L2; B panels (KC x NC, 512 KiB) are
+// shared read-only by all workers of one k-step. Every C element is summed
+// over k in ascending KC-chunk order regardless of how row-blocks are
+// scheduled onto threads, which is what keeps parallel runs bit-identical
+// to serial ones.
+constexpr std::size_t kMr = 3;
+constexpr std::size_t kNr = 12;
+constexpr std::size_t kMc = 60;
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kNc = 256;
+
+// Below this m*n*k volume the pack + dispatch overhead of the blocked path
+// outweighs its cache wins; a packed triple loop runs instead. Selection
+// depends only on the shape, never on the pool, so it cannot perturb
+// determinism.
+constexpr std::size_t kBlockedMinVolume = 32 * 32 * 32;
+
+// Element (i, p) of op(A) stored with row stride ld.
+inline double op_at(Trans trans, std::span<const double> m, std::size_t ld,
+                    std::size_t i, std::size_t p) {
+  return trans == Trans::kNo ? m[i * ld + p] : m[p * ld + i];
+}
 
 // C (m x n, row stride ldc) += alpha * A (m x k, packed) * B (k x n, packed),
 // where A and B have already been materialized in non-transposed packed
 // layout. ikj loop order keeps B and C accesses unit-stride.
+FEDVR_KERNEL_CLONES
 void gemm_core(std::size_t m, std::size_t n, std::size_t k, double alpha,
                const double* a, const double* b, std::span<double> c,
                std::size_t ldc) {
@@ -24,7 +77,6 @@ void gemm_core(std::size_t m, std::size_t n, std::size_t k, double alpha,
     const double* a_row = a + i * k;
     for (std::size_t p = 0; p < k; ++p) {
       const double a_ip = alpha * a_row[p];
-      if (a_ip == 0.0) continue;
       const double* b_row = b + p * n;
       for (std::size_t j = 0; j < n; ++j) {
         c_row[j] += a_ip * b_row[j];
@@ -37,7 +89,7 @@ void gemm_core(std::size_t m, std::size_t n, std::size_t k, double alpha,
 void pack(Trans trans, std::size_t rows, std::size_t cols,
           std::span<const double> src, std::size_t ld,
           std::vector<double>& out) {
-  out.resize(rows * cols);
+  scratch_resize(out, rows * cols);
   if (trans == Trans::kNo) {
     for (std::size_t i = 0; i < rows; ++i) {
       const double* s = src.data() + i * ld;
@@ -50,6 +102,152 @@ void pack(Trans trans, std::size_t rows, std::size_t cols,
         out[i * cols + j] = src[j * ld + i];
       }
     }
+  }
+}
+
+// Packs rows [i0, i0+ib) x depth [p0, p0+pb) of op(A) into MR-row groups:
+// group g holds its MR rows interleaved per depth step (column-major within
+// the group), padded with zeros past the last real row so the microkernel
+// never branches on the row remainder.
+void pack_a_block(Trans trans, std::span<const double> a, std::size_t lda,
+                  std::size_t i0, std::size_t ib, std::size_t p0,
+                  std::size_t pb, std::vector<double>& out) {
+  const std::size_t groups = (ib + kMr - 1) / kMr;
+  scratch_resize(out, groups * pb * kMr);
+  double* dst = out.data();
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t rows = std::min(kMr, ib - g * kMr);
+    for (std::size_t p = 0; p < pb; ++p) {
+      for (std::size_t r = 0; r < kMr; ++r) {
+        *dst++ = r < rows
+                     ? op_at(trans, a, lda, i0 + g * kMr + r, p0 + p)
+                     : 0.0;
+      }
+    }
+  }
+}
+
+// Packs depth [p0, p0+pb) x cols [j0, j0+jb) of op(B) into NR-column
+// slivers, zero-padded past the last real column.
+void pack_b_panel(Trans trans, std::span<const double> b, std::size_t ldb,
+                  std::size_t p0, std::size_t pb, std::size_t j0,
+                  std::size_t jb, std::vector<double>& out) {
+  const std::size_t slivers = (jb + kNr - 1) / kNr;
+  scratch_resize(out, slivers * pb * kNr);
+  double* dst = out.data();
+  for (std::size_t g = 0; g < slivers; ++g) {
+    const std::size_t cols = std::min(kNr, jb - g * kNr);
+    if (trans == Trans::kNo) {
+      const double* src = b.data() + j0 + g * kNr;
+      for (std::size_t p = 0; p < pb; ++p) {
+        const double* row = src + (p0 + p) * ldb;
+        for (std::size_t c = 0; c < cols; ++c) *dst++ = row[c];
+        for (std::size_t c = cols; c < kNr; ++c) *dst++ = 0.0;
+      }
+    } else {
+      for (std::size_t p = 0; p < pb; ++p) {
+        for (std::size_t c = 0; c < kNr; ++c) {
+          *dst++ = c < cols
+                       ? op_at(trans, b, ldb, p0 + p, j0 + g * kNr + c)
+                       : 0.0;
+        }
+      }
+    }
+  }
+}
+
+// C tile (mr x nr, row stride ldc) += alpha * a_sliver * b_sliver over pb
+// depth steps. The full MR x NR accumulator is always computed (padded
+// lanes just accumulate zeros); only the valid mr x nr corner is written
+// back.
+FEDVR_KERNEL_CLONES
+void micro_kernel(std::size_t pb, const double* a, const double* b,
+                  double alpha, double* c, std::size_t ldc, std::size_t mr,
+                  std::size_t nr) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < pb; ++p) {
+    const double* ap = a + p * kMr;
+    const double* bp = b + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const double av = ap[r];
+      for (std::size_t j = 0; j < kNr; ++j) {
+        acc[r][j] += av * bp[j];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < mr; ++r) {
+    double* c_row = c + r * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      c_row[j] += alpha * acc[r][j];
+    }
+  }
+}
+
+// The blocked path: jc (NC) -> pc (KC, serial so the k-order is fixed) ->
+// parallel over ic (MC row-blocks of C, disjoint) -> jr (NR) -> ir (MR).
+// beta has already been applied to C by the caller.
+void gemm_blocked(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+                  std::size_t k, double alpha, std::span<const double> a,
+                  std::size_t lda, std::span<const double> b, std::size_t ldb,
+                  std::span<double> c, std::size_t ldc) {
+  thread_local std::vector<double> b_panel;
+  for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+    const std::size_t jb = std::min(kNc, n - j0);
+    const std::size_t slivers = (jb + kNr - 1) / kNr;
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::size_t pb = std::min(kKc, k - p0);
+      // Packed once by the calling thread, then read-only for the workers
+      // (parallel_for's task handoff publishes it). Captured as a raw
+      // pointer: thread_local variables are not captured by lambdas, so
+      // naming b_panel inside the worker body would resolve to the
+      // worker's own (empty) instance.
+      pack_b_panel(trans_b, b, ldb, p0, pb, j0, jb, b_panel);
+      const double* b_packed = b_panel.data();
+      const std::size_t iblocks = (m + kMc - 1) / kMc;
+      util::ThreadPool::global().parallel_for(
+          0, iblocks, [&](std::size_t blk) {
+            thread_local std::vector<double> a_block;
+            const std::size_t i0 = blk * kMc;
+            const std::size_t ib = std::min(kMc, m - i0);
+            pack_a_block(trans_a, a, lda, i0, ib, p0, pb, a_block);
+            for (std::size_t jg = 0; jg < slivers; ++jg) {
+              const double* b_sliver = b_packed + jg * pb * kNr;
+              const std::size_t nr = std::min(kNr, jb - jg * kNr);
+              for (std::size_t ig = 0; ig * kMr < ib; ++ig) {
+                const double* a_sliver = a_block.data() + ig * pb * kMr;
+                const std::size_t mr = std::min(kMr, ib - ig * kMr);
+                micro_kernel(pb, a_sliver, b_sliver, alpha,
+                             c.data() + (i0 + ig * kMr) * ldc + j0 + jg * kNr,
+                             ldc, mr, nr);
+              }
+            }
+          });
+    }
+  }
+}
+
+// y[i] += alpha * <A row i, x> for i in [lo, hi).
+FEDVR_KERNEL_CLONES
+void gemv_rows(std::size_t lo, std::size_t hi, std::size_t cols, double alpha,
+               const double* a, const double* x, double* y) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double* row = a + i * cols;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) acc += row[j] * x[j];
+    y[i] += alpha * acc;
+  }
+}
+
+// y[j] += alpha * sum_i x[i] * A(i, j) for j in [lo, hi): i ascending so
+// the per-element order is chunk-invariant, unit-stride inner loop.
+FEDVR_KERNEL_CLONES
+void gemv_cols(std::size_t lo, std::size_t hi, std::size_t rows,
+               std::size_t cols, double alpha, const double* a,
+               const double* x, double* y) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = a + i * cols;
+    const double xi = alpha * x[i];
+    for (std::size_t j = lo; j < hi; ++j) y[j] += xi * row[j];
   }
 }
 
@@ -89,8 +287,14 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
   FEDVR_OBS_COUNT("tensor.gemm.flops", 2ULL * m * n * k);
 
-  // Pack operands into non-transposed layout. Simpler than four loop
-  // variants, and the packing cost is linear while gemm is cubic.
+  if (m * n * k >= kBlockedMinVolume) {
+    gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // Small-product path: pack operands into non-transposed layout. Simpler
+  // than four loop variants, and the packing cost is linear while the
+  // product is cubic.
   thread_local std::vector<double> a_pack;
   thread_local std::vector<double> b_pack;
   const double* a_ptr;
@@ -135,19 +339,29 @@ void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
   FEDVR_OBS_COUNT("tensor.gemv.calls", 1);
   if (alpha == 0.0) return;
   FEDVR_OBS_COUNT("tensor.gemv.flops", 2ULL * rows * cols);
+  // Both orientations parallelize over disjoint slices of y, so each
+  // element keeps one fixed accumulation order (ascending over the summed
+  // dimension) no matter how the range is chunked: bit-identical across
+  // pool sizes, including size 1. Small products skip the dispatch.
+  constexpr std::size_t kGemvMinParallel = 1U << 15;
+  const bool parallel = rows * cols >= kGemvMinParallel;
   if (trans == Trans::kNo) {
-    for (std::size_t i = 0; i < rows; ++i) {
-      const double* row = a.data() + i * cols;
-      double acc = 0.0;
-      for (std::size_t j = 0; j < cols; ++j) acc += row[j] * x[j];
-      y[i] += alpha * acc;
+    auto run_rows = [&](std::size_t lo, std::size_t hi) {
+      gemv_rows(lo, hi, cols, alpha, a.data(), x.data(), y.data());
+    };
+    if (parallel) {
+      util::ThreadPool::global().parallel_ranges(0, rows, run_rows, 16);
+    } else {
+      run_rows(0, rows);
     }
   } else {
-    for (std::size_t i = 0; i < rows; ++i) {
-      const double* row = a.data() + i * cols;
-      const double xi = alpha * x[i];
-      if (xi == 0.0) continue;
-      for (std::size_t j = 0; j < cols; ++j) y[j] += xi * row[j];
+    auto run_cols = [&](std::size_t lo, std::size_t hi) {
+      gemv_cols(lo, hi, rows, cols, alpha, a.data(), x.data(), y.data());
+    };
+    if (parallel) {
+      util::ThreadPool::global().parallel_ranges(0, cols, run_cols, 64);
+    } else {
+      run_cols(0, cols);
     }
   }
 }

@@ -3,16 +3,34 @@
 //
 // Matrices are dense row-major spans with explicit dimensions; the Tensor
 // class provides storage and the layers slice views out of it. GEMM is a
-// register-blocked triple loop in ikj order (streaming-friendly) — no
-// external BLAS per the reproduction rules.
+// cache-blocked (MC x NC x KC panels, MR x NR register-tiled microkernel)
+// implementation parallelized over disjoint row-blocks of C — no external
+// BLAS per the reproduction rules. The k-accumulation order of every C
+// element is fixed by the blocking constants alone, never by the thread
+// partition, so results are bit-identical across pool sizes (the
+// determinism contract; see DESIGN.md §10). Small products take a packed
+// triple-loop path whose selection depends only on (m, n, k).
 #pragma once
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace fedvr::tensor {
 
 enum class Trans { kNo, kYes };
+
+/// Thread-local kernel scratch (pack buffers, im2col columns) above this
+/// many doubles (8 MiB) is released on the next acquisition rather than
+/// retained for the lifetime of the thread — one outlier shape must not pin
+/// that much memory per pool worker forever.
+constexpr std::size_t kScratchCapDoubles = 1U << 20;
+
+/// Resizes a (typically thread_local) scratch vector to n doubles,
+/// releasing retained capacity first when it exceeds kScratchCapDoubles and
+/// the new request fits under the cap. Contents after the call are
+/// unspecified.
+void scratch_resize(std::vector<double>& buf, std::size_t n);
 
 /// C = alpha * op(A) * op(B) + beta * C.
 /// A is (m x k) after op, B is (k x n) after op, C is (m x n).

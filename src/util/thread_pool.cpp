@@ -1,12 +1,36 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+#include <memory>
 
 #include "obs/registry.h"
 #include "util/error.h"
 
 namespace fedvr::util {
+
+namespace {
+
+// Set for the lifetime of every worker thread; parallel_for consults it to
+// run nested invocations inline instead of deadlocking the pool.
+thread_local bool tls_in_worker = false;
+
+// The global pool lives behind an atomic pointer so the hot path (one
+// acquire load) stays cheap while reset_global() can still swap pools.
+std::unique_ptr<ThreadPool>& global_storage() {
+  static std::unique_ptr<ThreadPool> storage;
+  return storage;
+}
+
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -44,6 +68,7 @@ void ThreadPool::note_dequeued() {
 // task's side effects to the waiter. The only lock-free traffic here is the
 // obs counters above, which are sharded atomics (see obs/registry.h).
 void ThreadPool::worker_loop() {
+  tls_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -66,14 +91,27 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
+  parallel_ranges(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   FEDVR_CHECK(begin <= end);
   const std::size_t n = end - begin;
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   const std::size_t max_chunks = std::max<std::size_t>(size(), 1);
-  const std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  const std::size_t chunks =
+      tls_in_worker ? 1 : std::min(max_chunks, (n + grain - 1) / grain);
   if (chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    fn(begin, end);
     return;
   }
   const std::size_t chunk_len = (n + chunks - 1) / chunks;
@@ -83,9 +121,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * chunk_len;
     const std::size_t hi = std::min(end, lo + chunk_len);
     if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+    futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
@@ -98,9 +134,27 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+bool ThreadPool::in_worker() { return tls_in_worker; }
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;  // construct-on-first-use; joined at exit
-  return pool;
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::scoped_lock lock(global_mutex());
+  auto& storage = global_storage();
+  if (!storage) {
+    storage = std::make_unique<ThreadPool>();
+    g_global_pool.store(storage.get(), std::memory_order_release);
+  }
+  return *storage;
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  std::scoped_lock lock(global_mutex());
+  auto& storage = global_storage();
+  g_global_pool.store(nullptr, std::memory_order_release);
+  storage.reset();  // joins the old workers before the new pool spins up
+  storage = std::make_unique<ThreadPool>(threads);
+  g_global_pool.store(storage.get(), std::memory_order_release);
 }
 
 }  // namespace fedvr::util

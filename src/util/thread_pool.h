@@ -52,16 +52,40 @@ class ThreadPool {
   /// across the pool, blocking until every index is done. Exceptions from
   /// any chunk propagate (the first one observed is rethrown).
   ///
-  /// Degenerates to a serial loop when the range is small or the pool has a
-  /// single worker — important on single-core CI machines.
+  /// Degenerates to a serial loop when the range is small, the pool has a
+  /// single worker, or the caller is itself a pool worker (nested
+  /// parallelism would deadlock a fixed-size pool: every worker could end
+  /// up blocked waiting for queued chunks no thread is free to run).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
+
+  /// Range-granular variant: fn(lo, hi) is invoked once per contiguous
+  /// chunk instead of once per index, letting the body keep unit-stride
+  /// inner loops. Chunk boundaries depend on the pool size, so only use
+  /// this when per-element results are chunk-invariant (disjoint writes or
+  /// per-element accumulation order fixed by the body) — the determinism
+  /// contract requires bit-identical results across pool sizes.
+  void parallel_ranges(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 1);
+
+  /// True when the calling thread is a worker of any ThreadPool in this
+  /// process. The kernels use this to fall back to serial execution when
+  /// already running inside a parallel region.
+  [[nodiscard]] static bool in_worker();
 
   /// Process-wide pool sized to the hardware. Prefer passing a pool
   /// explicitly; this exists for call sites (tensor kernels) where threading
   /// a pool through every expression would obscure the math.
   static ThreadPool& global();
+
+  /// Replaces the global pool with one of `threads` workers (0 = hardware
+  /// concurrency), joining the old pool first. Test/bench hook for
+  /// comparing pool sizes; the caller must ensure no other thread is using
+  /// the global pool during the swap.
+  static void reset_global(std::size_t threads = 0);
 
  private:
   void worker_loop();

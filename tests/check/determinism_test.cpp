@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "check/check.h"
+#include "data/synthetic.h"
 #include "fl/trainer.h"
+#include "nn/models.h"
 #include "opt/local_solver.h"
 #include "testing/quadratic_model.h"
+#include "util/thread_pool.h"
 
 namespace fedvr::fl {
 namespace {
@@ -107,6 +110,58 @@ TEST(Determinism, ProfilingDoesNotPerturbParameters) {
   for (std::size_t i = 0; i < plain.rounds.size(); ++i) {
     EXPECT_EQ(plain.rounds[i].param_hash, profiled.rounds[i].param_hash);
   }
+}
+
+// The kernel-level parallelism (blocked GEMM row-blocks, batched conv,
+// parallel eval) must be invisible in the numerics: the same run on global
+// pools of 1, 2, and hardware-default threads is bit-identical.
+TEST(Determinism, HashEqualAcrossPoolSizes) {
+  const bool previous = check::set_enabled(true);
+  util::ThreadPool::reset_global(1);
+  const auto one = run_once(base_options());
+  util::ThreadPool::reset_global(2);
+  const auto two = run_once(base_options());
+  util::ThreadPool::reset_global(0);
+  const auto dflt = run_once(base_options());
+  check::set_enabled(previous);
+  expect_hash_equal_traces(one, two);
+  expect_hash_equal_traces(one, dflt);
+}
+
+// Same contract on a model big enough to engage the blocked parallel GEMM
+// path (784-dim inputs: forward/backward products exceed the small-path
+// volume threshold), so intra-kernel row-block scheduling is exercised, not
+// just device-level fan-out.
+TEST(Determinism, MlpRunHashEqualAcrossPoolSizes) {
+  const auto run_mlp = [] {
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = 784;
+    mcfg.hidden = {32};
+    mcfg.num_classes = 10;
+    const auto model = nn::make_mlp(mcfg);
+    data::SyntheticConfig cfg;
+    cfg.dim = mcfg.input_dim;
+    cfg.num_classes = mcfg.num_classes;
+    data::FederatedDataset fed;
+    for (std::size_t n = 0; n < 3; ++n) {
+      fed.train.push_back(data::make_synthetic_device(cfg, n, 60));
+      fed.test.push_back(data::make_synthetic_device(cfg, 10 + n, 20));
+    }
+    TrainerOptions options;
+    options.rounds = 2;
+    options.seed = 42;
+    options.parallel = true;
+    const Trainer trainer(model, fed, options);
+    return trainer.run(svrg_solver(model), "determinism-mlp");
+  };
+  const bool previous = check::set_enabled(true);
+  util::ThreadPool::reset_global(1);
+  const auto one = run_mlp();
+  util::ThreadPool::reset_global(2);
+  const auto two = run_mlp();
+  util::ThreadPool::reset_global(0);
+  check::set_enabled(previous);
+  expect_hash_equal_traces(one, two);
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentHashes) {

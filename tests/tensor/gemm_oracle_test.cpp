@@ -1,0 +1,162 @@
+// Randomized oracle sweep for the blocked GEMM/GEMV kernels: every result
+// is compared against a naive triple-loop reference across all four
+// transpose combos, strided leading dimensions, degenerate shapes
+// (m/n/k in {0,1}), and non-unit alpha/beta — both with runtime checks on
+// (default) and off, since the kernels must not depend on check-side
+// effects. A final test pins the determinism contract: the blocked path
+// must produce bit-identical C for pool sizes 1 and 3.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::tensor {
+namespace {
+
+double ref_at(Trans t, const std::vector<double>& m, std::size_t ld,
+              std::size_t i, std::size_t p) {
+  return t == Trans::kNo ? m[i * ld + p] : m[p * ld + i];
+}
+
+struct GemmCase {
+  std::size_t m, n, k;
+};
+
+// Degenerate shapes, remainder-heavy shapes around the register tile, and
+// shapes large enough to take the blocked parallel path.
+const GemmCase kShapes[] = {
+    {0, 0, 0},  {0, 5, 3},    {4, 0, 3},     {4, 5, 0},      {1, 1, 1},
+    {2, 3, 1},  {5, 1, 7},    {17, 9, 3},    {23, 31, 19},   {40, 48, 56},
+    {70, 65, 72}, {1, 50, 1}, {61, 263, 129}, {128, 61, 300},
+};
+
+void sweep_gemm() {
+  util::Rng rng(20240805);
+  const std::pair<double, double> coeffs[] = {
+      {1.0, 0.0}, {0.5, 1.0}, {2.0, -0.25}};
+  for (Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (Trans tb : {Trans::kNo, Trans::kYes}) {
+      for (const GemmCase& s : kShapes) {
+        for (std::size_t extra : {std::size_t{0}, std::size_t{3}}) {
+          for (const auto& [alpha, beta] : coeffs) {
+            const std::size_t a_rows = ta == Trans::kNo ? s.m : s.k;
+            const std::size_t a_cols = ta == Trans::kNo ? s.k : s.m;
+            const std::size_t b_rows = tb == Trans::kNo ? s.k : s.n;
+            const std::size_t b_cols = tb == Trans::kNo ? s.n : s.k;
+            const std::size_t lda = a_cols + extra;
+            const std::size_t ldb = b_cols + extra;
+            const std::size_t ldc = s.n + extra;
+            std::vector<double> a(a_rows * lda), b(b_rows * ldb),
+                c(s.m * ldc);
+            for (auto& v : a) v = rng.normal();
+            for (auto& v : b) v = rng.normal();
+            for (auto& v : c) v = rng.normal();
+            const std::vector<double> c0 = c;
+            gemm(ta, tb, s.m, s.n, s.k, alpha, a, lda, b, ldb, beta, c, ldc);
+            const double tol = 1e-12 * static_cast<double>(s.k + 1);
+            for (std::size_t i = 0; i < s.m; ++i) {
+              for (std::size_t j = 0; j < s.n; ++j) {
+                double acc = 0.0;
+                for (std::size_t p = 0; p < s.k; ++p) {
+                  acc += ref_at(ta, a, lda, i, p) * ref_at(tb, b, ldb, p, j);
+                }
+                const double want = alpha * acc + beta * c0[i * ldc + j];
+                ASSERT_NEAR(c[i * ldc + j], want,
+                            tol * (1.0 + std::fabs(want)))
+                    << "m=" << s.m << " n=" << s.n << " k=" << s.k
+                    << " ta=" << static_cast<int>(ta)
+                    << " tb=" << static_cast<int>(tb) << " extra=" << extra
+                    << " alpha=" << alpha << " beta=" << beta << " at (" << i
+                    << "," << j << ")";
+              }
+            }
+            // Padding columns beyond n must be untouched.
+            for (std::size_t i = 0; i < s.m; ++i) {
+              for (std::size_t j = s.n; j < ldc; ++j) {
+                ASSERT_EQ(c[i * ldc + j], c0[i * ldc + j])
+                    << "clobbered C padding at (" << i << "," << j << ")";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void sweep_gemv() {
+  util::Rng rng(77);
+  const std::pair<double, double> coeffs[] = {
+      {1.0, 0.0}, {0.5, 1.0}, {-2.0, 0.75}};
+  const GemmCase shapes[] = {{0, 7, 0},   {1, 1, 0},   {1, 9, 0},
+                             {13, 1, 0},  {37, 29, 0}, {64, 200, 0},
+                             {300, 257, 0}};
+  for (Trans t : {Trans::kNo, Trans::kYes}) {
+    for (const GemmCase& s : shapes) {
+      for (const auto& [alpha, beta] : coeffs) {
+        const std::size_t xn = t == Trans::kNo ? s.n : s.m;
+        const std::size_t yn = t == Trans::kNo ? s.m : s.n;
+        std::vector<double> a(s.m * s.n), x(xn), y(yn);
+        for (auto& v : a) v = rng.normal();
+        for (auto& v : x) v = rng.normal();
+        for (auto& v : y) v = rng.normal();
+        const std::vector<double> y0 = y;
+        gemv(t, s.m, s.n, alpha, a, x, beta, y);
+        const std::size_t inner = t == Trans::kNo ? s.n : s.m;
+        const double tol = 1e-12 * static_cast<double>(inner + 1);
+        for (std::size_t i = 0; i < yn; ++i) {
+          double acc = 0.0;
+          for (std::size_t p = 0; p < inner; ++p) {
+            acc += (t == Trans::kNo ? a[i * s.n + p] : a[p * s.n + i]) * x[p];
+          }
+          const double want = alpha * acc + beta * y0[i];
+          ASSERT_NEAR(y[i], want, tol * (1.0 + std::fabs(want)))
+              << "rows=" << s.m << " cols=" << s.n
+              << " t=" << static_cast<int>(t) << " alpha=" << alpha
+              << " beta=" << beta << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmOracle, MatchesNaiveReference) { sweep_gemm(); }
+
+TEST(GemvOracle, MatchesNaiveReference) { sweep_gemv(); }
+
+// The kernels must be pure compute: identical behavior with the runtime
+// invariant checks toggled off (the shipped-Release configuration).
+TEST(GemmOracle, MatchesNaiveReferenceWithChecksDisabled) {
+  const bool previous = check::set_enabled(false);
+  sweep_gemm();
+  sweep_gemv();
+  check::set_enabled(previous);
+}
+
+// Determinism contract: the blocked parallel path must be bit-identical
+// across pool sizes, because the k-accumulation order of every C element is
+// fixed by the blocking constants, never the thread partition.
+TEST(GemmOracle, BitIdenticalAcrossPoolSizes) {
+  const std::size_t m = 300, n = 200, k = 150;
+  util::Rng rng(3);
+  std::vector<double> a(m * k), b(k * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<double> c1(m * n, 0.0), c3(m * n, 0.0);
+  util::ThreadPool::reset_global(1);
+  gemm_packed(Trans::kNo, Trans::kYes, m, n, k, 1.0, a, b, 0.0, c1);
+  util::ThreadPool::reset_global(3);
+  gemm_packed(Trans::kNo, Trans::kYes, m, n, k, 1.0, a, b, 0.0, c3);
+  util::ThreadPool::reset_global(0);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c3.data(), c1.size() * sizeof(double)));
+  EXPECT_EQ(check::hash_span(c1), check::hash_span(c3));
+}
+
+}  // namespace
+}  // namespace fedvr::tensor

@@ -101,6 +101,58 @@ TEST(ParallelFor, LargeGrainFallsBackToSerial) {
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
 }
 
+TEST(ParallelRanges, CoversRangeInDisjointChunks) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  std::atomic<int> calls{0};
+  pool.parallel_ranges(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        calls++;
+        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+      },
+      /*grain=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // grain=64 over 777 indices caps the chunk count at ceil(777/64)=13, and
+  // a 4-thread pool caps it at 4.
+  EXPECT_LE(calls.load(), 4);
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ParallelRanges, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_ranges(9, 9, [&](std::size_t, std::size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+}
+
+// A parallel_for issued from inside a worker must run inline rather than
+// submit-and-wait (which could deadlock with every worker blocked). This is
+// what lets the gemm kernels call parallel_for unconditionally even when
+// the trainer already fanned device work across the pool.
+TEST(ParallelFor, NestedInsideWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 100);
+  pool.parallel_for(0, 4, [&](std::size_t outer) {
+    EXPECT_TRUE(ThreadPool::in_worker());
+    pool.parallel_for(0, 100, [&, outer](std::size_t inner) {
+      hits[outer * 100 + inner]++;
+    });
+  });
+  EXPECT_FALSE(ThreadPool::in_worker());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ResetGlobalChangesSizeAndRestores) {
+  ThreadPool::reset_global(3);
+  EXPECT_EQ(ThreadPool::global().size(), 3u);
+  auto f = ThreadPool::global().submit([] { return 5; });
+  EXPECT_EQ(f.get(), 5);
+  ThreadPool::reset_global(0);
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
 TEST(ThreadPool, GlobalPoolIsUsable) {
   auto f = ThreadPool::global().submit([] { return 7; });
   EXPECT_EQ(f.get(), 7);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Run the micro_kernels benchmark binary and snapshot results as JSON.
+
+Produces BENCH_kernels.json at the repo root (or --out): a trimmed,
+stable-ordered subset of google-benchmark's JSON output plus build context,
+suitable for committing as a performance baseline and diffing across PRs.
+
+Usage:
+    python3 tools/bench_json.py --binary build/bench/micro_kernels
+    python3 tools/bench_json.py --binary ... --min-time 0.01 --out /tmp/b.json
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run_benchmark(binary: pathlib.Path, min_time: float,
+                  benchmark_filter: str) -> dict:
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        # Old libbenchmark releases parse min_time with stod, so a plain
+        # float string (no "s" suffix) works everywhere.
+        f"--benchmark_min_time={min_time:g}",
+    ]
+    if benchmark_filter:
+        cmd.append(f"--benchmark_filter={benchmark_filter}")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def summarize(raw: dict) -> dict:
+    ctx = raw.get("context", {})
+    rows = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        row = {
+            "name": b["name"],
+            "real_time_ns": round(b["real_time"], 1),
+            "cpu_time_ns": round(b["cpu_time"], 1),
+            "iterations": b["iterations"],
+        }
+        if "items_per_second" in b:
+            # items == FLOPs for the GEMM benchmarks, so this is FLOP/s.
+            row["items_per_second"] = round(b["items_per_second"], 1)
+        rows.append(row)
+    rows.sort(key=lambda r: r["name"])
+    return {
+        "context": {
+            "host_name": ctx.get("host_name", ""),
+            "num_cpus": ctx.get("num_cpus", 0),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu", 0),
+            "library_build_type": ctx.get("library_build_type", ""),
+        },
+        "benchmarks": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True, type=pathlib.Path,
+                        help="path to the built micro_kernels executable")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent
+                        / "BENCH_kernels.json",
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--min-time", type=float, default=0.1,
+                        help="--benchmark_min_time per benchmark, seconds")
+    parser.add_argument("--filter", default="",
+                        help="optional --benchmark_filter regex")
+    args = parser.parse_args()
+
+    if not args.binary.exists():
+        print(f"error: benchmark binary not found: {args.binary}",
+              file=sys.stderr)
+        return 1
+    raw = run_benchmark(args.binary, args.min_time, args.filter)
+    summary = summarize(raw)
+    args.out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(summary['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
