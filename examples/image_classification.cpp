@@ -6,8 +6,8 @@
 // MNIST/Fashion-MNIST IDX files from --data_dir when present, otherwise the
 // procedural substitutes.
 //
-//   ./build/examples/image_classification --family fashion --devices 30 \
-//       --rounds 15 --tau 20 --beta 7 --mu 0.1
+//   ./build/examples/image_classification --family fashion --devices 30
+//       --rounds 15 --tau 20 --beta 7 --mu 0.1   (one command line)
 #include <array>
 #include <cstdio>
 

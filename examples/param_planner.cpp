@@ -5,8 +5,8 @@
 // parameters that minimize total training time, plus the predicted number
 // of global rounds for a target epsilon.
 //
-//   ./build/examples/param_planner --gamma 0.01 --L 1 --lambda 0.5 \
-//       --sigma2 0.2 --epsilon 0.01 --delta0 10
+//   ./build/examples/param_planner --gamma 0.01 --L 1 --lambda 0.5
+//       --sigma2 0.2 --epsilon 0.01 --delta0 10   (one command line)
 #include <cstdio>
 
 #include "theory/bounds.h"

@@ -35,11 +35,19 @@ void TopKCompressor::compress(std::span<double> delta,
   const std::size_t k = kept(delta.size());
   if (k >= delta.size()) return;
   // Find the magnitude threshold with nth_element over index permutation.
+  // The comparator breaks magnitude ties by index, making it a strict
+  // total order: the kept set is then uniquely determined, instead of
+  // depending on nth_element's unspecified permutation of tied elements
+  // (which varies across standard libraries and would break the
+  // determinism contract on param_hash traces).
   std::vector<std::size_t> order(delta.size());
   std::iota(order.begin(), order.end(), 0);
   std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    order.end(), [&delta](std::size_t a, std::size_t b) {
-                     return std::abs(delta[a]) > std::abs(delta[b]);
+                     const double ma = std::abs(delta[a]);
+                     const double mb = std::abs(delta[b]);
+                     if (ma != mb) return ma > mb;
+                     return a < b;
                    });
   std::vector<bool> keep(delta.size(), false);
   for (std::size_t i = 0; i < k; ++i) keep[order[i]] = true;

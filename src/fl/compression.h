@@ -45,8 +45,11 @@ class TopKCompressor final : public Compressor {
   double fraction_;
 };
 
-/// Keeps a uniformly random `fraction` of coordinates, rescaled by
-/// 1/fraction so the compressed delta is unbiased: E[C(x)] = x.
+/// Keeps k = max(1, llround(fraction * dim)) uniformly random coordinates,
+/// rescaled by dim/k so the compressed delta is unbiased: E[C(x)] = x.
+/// The rescale must use the *realized* keep-rate k/dim — for small or
+/// awkward dims k/dim != fraction, and scaling by 1/fraction would bias
+/// the estimator.
 class RandKCompressor final : public Compressor {
  public:
   explicit RandKCompressor(double fraction);

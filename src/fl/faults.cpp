@@ -1,0 +1,89 @@
+#include "fl/faults.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedvr::fl {
+
+namespace {
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+/// One sponge step: XOR the next coordinate into the running hash, then run
+/// a full SplitMix64 finalization whose OUTPUT becomes the new hash.
+std::uint64_t absorb(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ v;
+  return util::splitmix64(s);
+}
+
+/// Derives the fault stream for (seed, device, round). util::fork() is NOT
+/// used here: it XOR-absorbs raw coordinates between finalizer calls but
+/// discards the intermediate outputs, and for small seeds and coordinates
+/// (exactly the fault layer's regime — device and round indices start at
+/// 0/1) the derived seeds cluster badly enough that the first uniform draw
+/// is measurably non-uniform: across seeds 1-5, devices 0-5, rounds 1-8,
+/// ZERO of 240 first draws fall below 0.1, so dropout_prob = 0.1 would
+/// never crash anyone. Chaining full finalizations — each output feeds the
+/// next absorption — restores per-decile uniformity. Existing fork()
+/// streams (init, sampling, selection) are left untouched to preserve the
+/// traces pinned by pre-fault builds.
+util::Rng fault_stream(std::uint64_t seed, std::size_t device,
+                       std::size_t round) {
+  std::uint64_t h = absorb(seed, util::stream::kFaults);
+  h = absorb(h, static_cast<std::uint64_t>(device) + 1);
+  h = absorb(h, static_cast<std::uint64_t>(round));
+  return util::Rng(h);
+}
+}  // namespace
+
+FaultModel::FaultModel(FaultModelConfig config) : config_(config) {
+  FEDVR_CHECK_MSG(is_probability(config_.dropout_prob),
+                  "dropout_prob must be in [0, 1], got "
+                      << config_.dropout_prob);
+  FEDVR_CHECK_MSG(is_probability(config_.straggler_prob),
+                  "straggler_prob must be in [0, 1], got "
+                      << config_.straggler_prob);
+  FEDVR_CHECK_MSG(is_probability(config_.uplink_loss_prob),
+                  "uplink_loss_prob must be in [0, 1], got "
+                      << config_.uplink_loss_prob);
+  FEDVR_CHECK_MSG(config_.straggler_slowdown >= 1.0,
+                  "straggler_slowdown must be >= 1, got "
+                      << config_.straggler_slowdown);
+  FEDVR_CHECK_MSG(config_.retry_backoff >= 1.0,
+                  "retry_backoff must be >= 1, got " << config_.retry_backoff);
+}
+
+FaultEvent FaultModel::sample(std::uint64_t seed, std::size_t device,
+                              std::size_t round) const {
+  FaultEvent event;
+  if (!enabled()) return event;
+  // Dedicated (seed, device, round) stream under the kFaults purpose tag:
+  // fault draws never perturb minibatch sampling, and vice versa.
+  util::Rng rng = fault_stream(seed, device, round);
+  // Fixed draw order (dropout, straggler, uplink attempts) keeps the event
+  // a pure function of the coordinates for a given configuration.
+  if (rng.uniform() < config_.dropout_prob) {
+    event.dropped = true;
+    return event;  // a crashed device neither computes nor transmits
+  }
+  if (rng.uniform() < config_.straggler_prob) {
+    event.straggler = true;
+    event.slowdown = config_.straggler_slowdown;
+  }
+  if (config_.uplink_loss_prob > 0.0) {
+    // First attempt plus up to uplink_max_retries retransmissions; each is
+    // lost independently. uniform() < 1.0 always holds, so loss_prob = 1
+    // deterministically exhausts the retry budget.
+    std::size_t attempt = 0;
+    while (rng.uniform() < config_.uplink_loss_prob) {
+      if (attempt == config_.uplink_max_retries) {
+        event.uplink_failed = true;
+        break;
+      }
+      ++attempt;
+    }
+    event.uplink_retries = attempt;
+  }
+  return event;
+}
+
+}  // namespace fedvr::fl

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the federated engine.
+//
+// The paper's Algorithm 1 assumes every device returns every round; real
+// deployments (FedProx, Li et al.; probabilistically activated agents,
+// Rostami & Kia) see crashes, stragglers, and flaky uplinks. A FaultModel
+// samples one FaultEvent per (device, round):
+//
+//   * crash/dropout — the device never reports this round and is excluded
+//     from line-12 aggregation (the survivors are reweighted to sum to 1);
+//   * straggler     — the device computes `slowdown` times slower, which
+//     multiplies the d_cmp term of its round time (timing_model.h);
+//   * uplink loss   — each uplink transmission is lost independently with
+//     `uplink_loss_prob`; the device retries up to `uplink_max_retries`
+//     times with geometric backoff, each retry charging extra d_com
+//     (FaultEvent::com_multiplier). A device that exhausts its retries is
+//     excluded from aggregation like a crash, but still holds up the
+//     synchronous barrier for its full (retried) round time.
+//
+// Determinism contract: sample() is a pure function of (seed, device,
+// round) — the RNG is forked by coordinates exactly like the solver's
+// minibatch stream (util::stream::kFaults) — so the realized fault sequence
+// is bit-identical however devices are scheduled onto threads and for any
+// thread-pool size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedvr::fl {
+
+struct FaultModelConfig {
+  /// P(device crashes this round). The device does not report at all.
+  double dropout_prob = 0.0;
+  /// P(device computes `straggler_slowdown` times slower this round).
+  double straggler_prob = 0.0;
+  /// Compute-delay multiplier applied when the straggler event fires (>= 1).
+  double straggler_slowdown = 4.0;
+  /// P(one uplink transmission is lost). Each attempt is independent.
+  double uplink_loss_prob = 0.0;
+  /// Retransmissions a device may attempt after the first lost uplink.
+  std::size_t uplink_max_retries = 3;
+  /// Geometric backoff base: retry i (1-based) charges an extra
+  /// retry_backoff^i * d_com of communication delay (>= 1).
+  double retry_backoff = 2.0;
+};
+
+/// The realized fault outcome for one (device, round) pair.
+struct FaultEvent {
+  bool dropped = false;      // crashed: no uplink, no time charged
+  bool straggler = false;    // slowdown fired this round
+  double slowdown = 1.0;     // compute-delay multiplier (>= 1)
+  std::size_t uplink_retries = 0;  // retransmissions after lost uplinks
+  bool uplink_failed = false;      // every attempt lost: update discarded
+
+  /// Uplink transmissions actually sent (first attempt + retries); used for
+  /// communication-byte accounting. Zero only conceptually for a crash —
+  /// callers skip crashed devices before charging uplink bytes.
+  [[nodiscard]] std::size_t uplink_attempts() const {
+    return uplink_retries + 1;
+  }
+
+  /// Communication-delay multiplier from uplink retries with geometric
+  /// backoff: 1 + sum_{i=1..retries} backoff^i.
+  [[nodiscard]] double com_multiplier(double backoff) const {
+    double mult = 1.0;
+    double step = 1.0;
+    for (std::size_t i = 0; i < uplink_retries; ++i) {
+      step *= backoff;
+      mult += step;
+    }
+    return mult;
+  }
+
+  /// True when the device's update reaches the server (it may still miss a
+  /// round deadline — the trainer layers that check on top).
+  [[nodiscard]] bool delivers_update() const {
+    return !dropped && !uplink_failed;
+  }
+};
+
+/// Samples per-device, per-round fault events. Default-constructed models
+/// are disabled: sample() always returns the no-fault event and the trainer
+/// takes the exact pre-fault code path (traces are bit-identical to runs
+/// that predate fault injection).
+class FaultModel {
+ public:
+  /// Disabled model (all probabilities zero).
+  FaultModel() = default;
+
+  /// Validates the configuration (always-on: probabilities in [0, 1],
+  /// straggler_slowdown >= 1, retry_backoff >= 1).
+  explicit FaultModel(FaultModelConfig config);
+
+  [[nodiscard]] const FaultModelConfig& config() const { return config_; }
+
+  /// True when any fault has nonzero probability.
+  [[nodiscard]] bool enabled() const {
+    return config_.dropout_prob > 0.0 || config_.straggler_prob > 0.0 ||
+           config_.uplink_loss_prob > 0.0;
+  }
+
+  /// The fault event for (device, round) under master seed `seed`. Pure:
+  /// same coordinates, same event, regardless of call order or thread.
+  /// Rounds are 1-based, matching the trainer's global iteration s.
+  [[nodiscard]] FaultEvent sample(std::uint64_t seed, std::size_t device,
+                                  std::size_t round) const;
+
+ private:
+  FaultModelConfig config_{};
+};
+
+}  // namespace fedvr::fl

@@ -61,7 +61,9 @@ void TrainingTrace::write_csv(const std::string& path) const {
                       {"algorithm", "round", "train_loss", "test_accuracy",
                        "grad_norm_sq", "model_time", "wall_seconds",
                        "mean_local_theta", "comm_bytes", "sample_grad_evals",
-                       "param_hash", "t_broadcast", "t_local_solve",
+                       "param_hash", "dropped_devices", "straggler_devices",
+                       "uplink_retries", "deadline_misses",
+                       "realized_round_time", "t_broadcast", "t_local_solve",
                        "t_aggregate", "t_eval"});
   for (const auto& r : rounds) {
     // Measured phase columns are -1 when the run was not profiled, matching
@@ -80,6 +82,11 @@ void TrainingTrace::write_csv(const std::string& path) const {
         .add(r.comm_bytes)
         .add(r.sample_grad_evals)
         .add(static_cast<std::size_t>(r.param_hash))
+        .add(r.dropped_devices)
+        .add(r.straggler_devices)
+        .add(r.uplink_retries)
+        .add(r.deadline_misses)
+        .add(r.realized_round_time)
         .add(timings.broadcast)
         .add(timings.local_solve)
         .add(timings.aggregate)

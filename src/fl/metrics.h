@@ -48,6 +48,22 @@ struct RoundMetrics {
   std::size_t comm_bytes = 0;        // bytes moved device<->server
   std::size_t sample_grad_evals = 0; // per-sample gradient evaluations
 
+  // Fault accounting (cumulative since round 1; all zero when the run's
+  // FaultModel is disabled and no round_deadline is set):
+  std::size_t dropped_devices = 0;   // participants that delivered no update
+                                     // (crash, uplink exhaustion, or
+                                     // deadline miss)
+  std::size_t straggler_devices = 0; // straggler slowdown events
+  std::size_t uplink_retries = 0;    // uplink retransmissions
+  std::size_t deadline_misses = 0;   // deadline-missed devices (a subset of
+                                     // dropped_devices)
+
+  /// Realized synchronous-barrier time of THIS round (not cumulative): the
+  /// max over participants' fault-adjusted round times, capped at
+  /// round_deadline when one is set. Equals the analytic per-round
+  /// eq. 19 time when faults are off.
+  double realized_round_time = 0.0;
+
   /// FNV-1a hash of w̄^(s) (check::hash_span). Equal-seed runs must agree
   /// round-for-round; a divergence pinpoints the first nondeterministic one.
   std::uint64_t param_hash = 0;

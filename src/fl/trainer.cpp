@@ -56,6 +56,15 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
   FEDVR_CHECK_MSG(options_.per_device_timing.empty() ||
                       options_.per_device_timing.size() == fed_.num_devices(),
                   "per_device_timing needs one entry per device");
+  // Fail fast on malformed timing models (always-on validation — a release
+  // build must reject d_com <= 0 here, not silently produce garbage time).
+  options_.timing.validate();
+  for (const auto& tm : options_.per_device_timing) tm.validate();
+  if (options_.round_deadline) {
+    FEDVR_CHECK_MSG(*options_.round_deadline > 0.0,
+                    "round_deadline must be positive, got "
+                        << *options_.round_deadline);
+  }
   for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
     FEDVR_CHECK_MSG(!fed_.train[n].empty(),
                     "device " << n << " has no training data");
@@ -202,6 +211,14 @@ TrainingTrace Trainer::run_impl(
   std::size_t total_comm_bytes = 0;
   std::size_t total_grad_evals = 0;
 
+  // Cumulative fault accounting (all stay zero on the no-fault path).
+  const bool faults_on = options_.faults.enabled();
+  const bool deadline_on = options_.round_deadline.has_value();
+  std::size_t total_dropped = 0;
+  std::size_t total_stragglers = 0;
+  std::size_t total_uplink_retries = 0;
+  std::size_t total_deadline_misses = 0;
+
   for (std::size_t s = 1; s <= options_.rounds; ++s) {
     profiler.begin_round(s, num_devices);
     bool target_reached = false;
@@ -211,6 +228,13 @@ TrainingTrace Trainer::run_impl(
       // Optional client sampling (FedAvg practicality; off for the paper's
       // experiments, which use full participation).
       std::vector<std::size_t> participants;
+      // Indices into `participants` whose update reaches the server in time
+      // this round — the devices line-12 aggregation averages over.
+      std::vector<std::size_t> survivors;
+      std::vector<FaultEvent> events;
+      // Realized synchronous-barrier time of this round: max over reporting
+      // participants' fault-adjusted times, capped by the deadline.
+      double realized_round_time = 0.0;
       {
         obs::RoundProfiler::ScopedPhase phase(profiler,
                                               obs::Phase::kBroadcast);
@@ -225,11 +249,79 @@ TrainingTrace Trainer::run_impl(
           participants.resize(num_devices);
           std::iota(participants.begin(), participants.end(), 0);
         }
+
+        // Fault + timing pre-pass. Events are a pure function of
+        // (seed, device, round) — fault sequences are bit-identical across
+        // thread-pool sizes — and round times are model time, so survivor
+        // status (including deadline misses) is known before any solver
+        // runs; non-survivors are degraded out of the round up front.
+        events.assign(participants.size(), FaultEvent{});
+        survivors.reserve(participants.size());
+        for (std::size_t k = 0; k < participants.size(); ++k) {
+          const std::size_t device = participants[k];
+          if (faults_on) {
+            events[k] = options_.faults.sample(options_.seed, device, s);
+          }
+          const FaultEvent& event = events[k];
+          if (event.dropped) {
+            // A crash is detected immediately (connection loss): the device
+            // holds up neither the barrier nor the model.
+            ++total_dropped;
+            OBS_SPAN("round.fault.dropout");
+            FEDVR_OBS_COUNT("fl.faults.dropout", 1);
+            continue;
+          }
+          if (event.straggler) {
+            ++total_stragglers;
+            OBS_SPAN("round.fault.straggler");
+            FEDVR_OBS_COUNT("fl.faults.straggler", 1);
+          }
+          if (event.uplink_retries > 0) {
+            total_uplink_retries += event.uplink_retries;
+            OBS_SPAN("round.fault.uplink_retry");
+            FEDVR_OBS_COUNT("fl.faults.uplink_retries", event.uplink_retries);
+          }
+          const TimingModel& timing = options_.per_device_timing.empty()
+                                          ? options_.timing
+                                          : options_.per_device_timing[device];
+          const double device_time =
+              faults_on ? timing.round_time(
+                              timing_tau, event.slowdown,
+                              event.com_multiplier(
+                                  options_.faults.config().retry_backoff))
+                        : timing.round_time(timing_tau);
+          const bool missed_deadline =
+              deadline_on && device_time > *options_.round_deadline;
+          if (missed_deadline) {
+            ++total_deadline_misses;
+            OBS_SPAN("round.fault.deadline_miss");
+            FEDVR_OBS_COUNT("fl.faults.deadline_misses", 1);
+            // The server stops waiting at the deadline, however late the
+            // device would have been.
+            realized_round_time =
+                std::max(realized_round_time, *options_.round_deadline);
+          } else {
+            realized_round_time = std::max(realized_round_time, device_time);
+          }
+          if (event.uplink_failed) {
+            OBS_SPAN("round.fault.uplink_failed");
+            FEDVR_OBS_COUNT("fl.faults.uplink_failed", 1);
+          }
+          if (missed_deadline || event.uplink_failed) {
+            ++total_dropped;
+          } else {
+            survivors.push_back(k);
+          }
+        }
       }
 
-      // Local updates (Algorithm 1 lines 2-11), device-parallel.
-      auto run_device = [&](std::size_t k) {
-        const std::size_t device = participants[k];
+      // Local updates (Algorithm 1 lines 2-11), device-parallel. Only the
+      // round's survivors run: a crashed device computes nothing, and a
+      // device whose update cannot reach the server in time (uplink
+      // exhaustion, deadline miss) is not simulated — its wasted compute
+      // shows up in the fault counters, not in sample_grad_evals.
+      auto run_device = [&](std::size_t i) {
+        const std::size_t device = participants[survivors[i]];
         OBS_SPAN("device.solve");
         const std::uint64_t solve_start = obs_on ? obs::now_ns() : 0;
         util::Rng rng = util::fork(options_.seed, device + 1, s,
@@ -261,10 +353,10 @@ TrainingTrace Trainer::run_impl(
                                               obs::Phase::kLocalSolve);
         OBS_SPAN("round.local_solve");
         if (options_.parallel && util::ThreadPool::global().size() > 1) {
-          util::ThreadPool::global().parallel_for(0, participants.size(),
+          util::ThreadPool::global().parallel_for(0, survivors.size(),
                                                   run_device);
         } else {
-          for (std::size_t k = 0; k < participants.size(); ++k) run_device(k);
+          for (std::size_t i = 0; i < survivors.size(); ++i) run_device(i);
         }
       }
 
@@ -272,45 +364,47 @@ TrainingTrace Trainer::run_impl(
         obs::RoundProfiler::ScopedPhase phase(profiler,
                                               obs::Phase::kAggregate);
         OBS_SPAN("round.aggregate");
-        // Global aggregation (line 12) over participants, reweighted so the
-        // weights of the sampled subset sum to one.
-        double weight_sum = 0.0;
-        for (std::size_t device : participants) {
-          weight_sum += fed_.weight(device);
-        }
-        tensor::fill(w_global, 0.0);
-        for (std::size_t device : participants) {
-          FEDVR_CHECK_INDEX(device, locals.size());
-          FEDVR_CHECK_SHAPE(locals[device].size(), dim);
-          tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
-                                      locals[device], w_global);
-        }
-        // One bad device poisons the averaged model for every later round;
-        // fail at the round that aggregated it.
-        FEDVR_CHECK_FINITE(w_global, "aggregated global model");
-
-        if (options_.per_device_timing.empty()) {
-          model_time += options_.timing.round_time(timing_tau);
-        } else {
-          // Synchronous round: wait for the slowest participant.
-          double slowest = 0.0;
-          for (std::size_t device : participants) {
-            slowest = std::max(
-                slowest,
-                options_.per_device_timing[device].round_time(timing_tau));
+        // Global aggregation (line 12) over the round's survivors,
+        // reweighted so the weights of the aggregated subset sum to one. A
+        // zero-survivor round keeps w̄^(s-1) unchanged.
+        if (!survivors.empty()) {
+          double weight_sum = 0.0;
+          for (std::size_t k : survivors) {
+            weight_sum += fed_.weight(participants[k]);
           }
-          model_time += slowest;
+          tensor::fill(w_global, 0.0);
+          for (std::size_t k : survivors) {
+            const std::size_t device = participants[k];
+            FEDVR_CHECK_INDEX(device, locals.size());
+            FEDVR_CHECK_SHAPE(locals[device].size(), dim);
+            tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
+                                        locals[device], w_global);
+          }
+          // One bad device poisons the averaged model for every later
+          // round; fail at the round that aggregated it.
+          FEDVR_CHECK_FINITE(w_global, "aggregated global model");
         }
-        // One dense broadcast down plus one (possibly compressed) model up
-        // per participant per round.
+
+        // Synchronous-barrier wall clock: the round costs the slowest
+        // reporting participant's fault-adjusted time (capped by the
+        // deadline), computed in the pre-pass above.
+        model_time += realized_round_time;
+
+        // One dense broadcast down per participant, plus one (possibly
+        // compressed) model up per uplink transmission actually sent —
+        // lost attempts and late arrivals still crossed the wire.
         const std::size_t up_bytes =
             options_.uplink_compressor
                 ? options_.uplink_compressor->wire_bytes(dim)
                 : dim * sizeof(double);
-        total_comm_bytes +=
-            participants.size() * (dim * sizeof(double) + up_bytes);
-        for (std::size_t device : participants) {
-          total_grad_evals += grad_evals[device];
+        total_comm_bytes += participants.size() * dim * sizeof(double);
+        for (std::size_t k = 0; k < participants.size(); ++k) {
+          if (!events[k].dropped) {
+            total_comm_bytes += events[k].uplink_attempts() * up_bytes;
+          }
+        }
+        for (std::size_t k : survivors) {
+          total_grad_evals += grad_evals[participants[k]];
         }
       }
 
@@ -330,6 +424,11 @@ TrainingTrace Trainer::run_impl(
         m.wall_seconds = wall.seconds();
         m.comm_bytes = total_comm_bytes;
         m.sample_grad_evals = total_grad_evals;
+        m.dropped_devices = total_dropped;
+        m.straggler_devices = total_stragglers;
+        m.uplink_retries = total_uplink_retries;
+        m.deadline_misses = total_deadline_misses;
+        m.realized_round_time = realized_round_time;
         // Determinism audit: two runs with the same seed must produce
         // bit-identical parameters, hence equal hashes, at every eval round.
         m.param_hash = check::hash_span(w_global);
@@ -345,7 +444,8 @@ TrainingTrace Trainer::run_impl(
         if (options_.collect_theta) {
           double sum = 0.0;
           std::size_t count = 0;
-          for (std::size_t device : participants) {
+          for (std::size_t k : survivors) {
+            const std::size_t device = participants[k];
             if (thetas[device] >= 0.0) {
               sum += thetas[device];
               ++count;

@@ -19,6 +19,7 @@
 
 #include "data/dataset.h"
 #include "fl/compression.h"
+#include "fl/faults.h"
 #include "fl/metrics.h"
 #include "fl/timing_model.h"
 #include "nn/model.h"
@@ -59,10 +60,20 @@ struct TrainerOptions {
   /// (w_n - w̄^(s-1)) before aggregation; comm accounting uses its wire
   /// format for the uplink.
   std::shared_ptr<const Compressor> uplink_compressor;
-  /// Optional per-device timing models (stragglers): when non-empty (one
-  /// per device), a synchronous round costs the *maximum* participant
-  /// time instead of options.timing.
+  /// Optional per-device timing models (heterogeneous hardware): when
+  /// non-empty (one per device), a synchronous round costs the *maximum*
+  /// participant time instead of options.timing.
   std::vector<TimingModel> per_device_timing;
+  /// Deterministic fault injection (crashes, stragglers, lossy uplinks).
+  /// Disabled by default; see fl/faults.h. Devices that deliver no update
+  /// are dropped from line-12 aggregation and the survivors' weights are
+  /// renormalized to sum to 1 (a zero-survivor round keeps w̄^(s-1)).
+  FaultModel faults;
+  /// Optional synchronous-round deadline in model-time units: participants
+  /// whose fault-adjusted round time exceeds it are excluded from
+  /// aggregation, and the server charges at most the deadline per round
+  /// (it stops waiting once the deadline passes).
+  std::optional<double> round_deadline;
   /// Parallel device execution. Deterministic either way.
   bool parallel = true;
   /// Per-phase / per-device profiling + metrics collection (fedvr::obs).

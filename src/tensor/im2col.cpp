@@ -7,9 +7,11 @@ namespace fedvr::tensor {
 
 namespace {
 // Geometry preconditions via the gated fedvr::check layer (im2col runs once
-// per sample per conv layer; the checks vanish under -DFEDVR_CHECKS=OFF).
-void check_geometry(const ConvGeometry& g, std::size_t image_size,
-                    std::size_t cols_size) {
+// per sample per conv layer; the checks vanish under -DFEDVR_CHECKS=OFF,
+// leaving the parameters otherwise unused).
+void check_geometry([[maybe_unused]] const ConvGeometry& g,
+                    [[maybe_unused]] std::size_t image_size,
+                    [[maybe_unused]] std::size_t cols_size) {
   FEDVR_CHECK_PRE(g.height + 2 * g.pad >= g.kernel_h &&
                       g.width + 2 * g.pad >= g.kernel_w,
                   "kernel " << g.kernel_h << "x" << g.kernel_w

@@ -260,10 +260,10 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
   // Shape/stride preconditions via the gated fedvr::check layer: compiled
   // out under -DFEDVR_CHECKS=OFF, skippable at runtime via FEDVR_CHECKS=0.
   FEDVR_CHECK_PRE(ldc >= n, "gemm: ldc " << ldc << " < n " << n);
-  const std::size_t a_rows = (trans_a == Trans::kNo) ? m : k;
-  const std::size_t a_cols = (trans_a == Trans::kNo) ? k : m;
-  const std::size_t b_rows = (trans_b == Trans::kNo) ? k : n;
-  const std::size_t b_cols = (trans_b == Trans::kNo) ? n : k;
+  [[maybe_unused]] const std::size_t a_rows = (trans_a == Trans::kNo) ? m : k;
+  [[maybe_unused]] const std::size_t a_cols = (trans_a == Trans::kNo) ? k : m;
+  [[maybe_unused]] const std::size_t b_rows = (trans_b == Trans::kNo) ? k : n;
+  [[maybe_unused]] const std::size_t b_cols = (trans_b == Trans::kNo) ? n : k;
   FEDVR_CHECK_PRE(lda >= a_cols, "gemm: lda " << lda << " < " << a_cols);
   FEDVR_CHECK_PRE(ldb >= b_cols, "gemm: ldb " << ldb << " < " << b_cols);
   FEDVR_CHECK_PRE(a.size() >= (a_rows == 0 ? 0 : (a_rows - 1) * lda + a_cols),
@@ -327,8 +327,8 @@ void gemv(Trans trans, std::size_t rows, std::size_t cols, double alpha,
           std::span<double> y) {
   FEDVR_CHECK_PRE(a.size() >= rows * cols,
                   "gemv: A storage " << a.size() << " < " << rows * cols);
-  const std::size_t x_len = (trans == Trans::kNo) ? cols : rows;
-  const std::size_t y_len = (trans == Trans::kNo) ? rows : cols;
+  [[maybe_unused]] const std::size_t x_len = (trans == Trans::kNo) ? cols : rows;
+  [[maybe_unused]] const std::size_t y_len = (trans == Trans::kNo) ? rows : cols;
   FEDVR_CHECK_SHAPE(x.size(), x_len);
   FEDVR_CHECK_SHAPE(y.size(), y_len);
   if (beta == 0.0) {

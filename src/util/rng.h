@@ -137,6 +137,7 @@ inline constexpr std::uint64_t kInit = 2;       // parameter initialization
 inline constexpr std::uint64_t kSampling = 3;   // minibatch sampling
 inline constexpr std::uint64_t kSelection = 4;  // iterate/client selection
 inline constexpr std::uint64_t kSearch = 5;     // hyperparameter search
+inline constexpr std::uint64_t kFaults = 6;     // fault-event injection
 }  // namespace stream
 
 }  // namespace fedvr::util

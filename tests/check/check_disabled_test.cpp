@@ -1,8 +1,11 @@
 // Compiled with FEDVR_CHECKS_DISABLED defined for this translation unit
 // (see tests/CMakeLists.txt): proves the FEDVR_CHECK_* macros are true
 // no-ops when compiled out — no throw, and no argument evaluation at all —
-// independent of how the fedvr_check library itself was built.
+// independent of how the fedvr_check library itself was built. In a
+// -DFEDVR_CHECKS=OFF build the macro arrives from the command line already.
+#ifndef FEDVR_CHECKS_DISABLED
 #define FEDVR_CHECKS_DISABLED
+#endif
 
 #include "check/check.h"
 
@@ -33,7 +36,7 @@ TEST(CheckDisabled, MacrosDoNotThrowOnViolations) {
 TEST(CheckDisabled, MacroArgumentsAreNeverEvaluated) {
   const bool previous = set_enabled(true);
   int evaluations = 0;
-  auto counted = [&evaluations](std::size_t x) {
+  [[maybe_unused]] auto counted = [&evaluations](std::size_t x) {
     ++evaluations;
     return x;
   };

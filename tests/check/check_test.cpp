@@ -82,7 +82,7 @@ TEST(Check, FiniteTripsOnNanAndInfWithElementIndex) {
 TEST(Check, PreconditionTripsWithStreamedContext) {
   if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
   ScopedChecks on(true);
-  const int n = 7;
+  [[maybe_unused]] const int n = 7;
   try {
     FEDVR_CHECK_PRE(n > 10, "need more than ten, got " << n);
     FAIL() << "expected Error";
@@ -96,7 +96,7 @@ TEST(Check, RuntimeDisableSkipsChecksAndArgumentEvaluation) {
   if (!kCompiledIn) GTEST_SKIP() << "checks compiled out";
   ScopedChecks off(false);
   int evaluations = 0;
-  auto counted = [&evaluations](std::size_t v) {
+  [[maybe_unused]] auto counted = [&evaluations](std::size_t v) {
     ++evaluations;
     return v;
   };

@@ -91,6 +91,72 @@ TEST(RandK, IsUnbiasedInExpectation) {
   }
 }
 
+TEST(TopK, TieBreaksByLowestIndex) {
+  // Equal magnitudes are ordered by index, so the kept set is unique:
+  // nth_element's unspecified tie permutation (which differs across
+  // standard libraries) must never decide which coordinate survives.
+  const TopKCompressor comp(0.5);  // keep 3 of 6
+  std::vector<double> delta = {1.0, -1.0, 1.0, -1.0, 1.0, 1.0};
+  Rng rng(1);
+  comp.compress(delta, rng);
+  const std::vector<double> expected = {1.0, -1.0, 1.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(delta, expected);
+}
+
+TEST(TopK, TieHeavyInputIsDeterministic) {
+  // Duplicated magnitudes interleaved with strictly larger ones: the large
+  // entries always survive, and ties fill the remaining slots lowest-index
+  // first.
+  const TopKCompressor comp(0.375);  // keep 3 of 8
+  std::vector<double> delta = {2.0, 1.0, -2.0, 1.0, 2.0, 1.0, -1.0, 1.0};
+  Rng rng(9);
+  comp.compress(delta, rng);
+  // |2.0| entries at indices 0, 2, 4 fill all three slots by index order.
+  const std::vector<double> expected = {2.0, 0.0, -2.0, 0.0, 2.0,
+                                        0.0, 0.0,  0.0};
+  EXPECT_EQ(delta, expected);
+  // Repeated compression of the same input gives byte-identical output.
+  std::vector<double> again = {2.0, 1.0, -2.0, 1.0, 2.0, 1.0, -1.0, 1.0};
+  Rng rng2(1234);
+  comp.compress(again, rng2);
+  EXPECT_EQ(again, expected);
+}
+
+TEST(RandK, ScaleUsesRealizedKeepRateNotTheNominalFraction) {
+  // dim = 5, fraction = 0.01: the floor of one kept coordinate makes the
+  // realized keep-rate 1/5, so the survivor must be scaled by 5 — scaling
+  // by 1/fraction = 100 would inflate the estimator by 20x.
+  const RandKCompressor comp(0.01);
+  ASSERT_EQ(comp.kept(5), 1u);
+  std::vector<double> delta(5, 1.0);
+  Rng rng(11);
+  comp.compress(delta, rng);
+  double sum = 0.0;
+  for (double v : delta) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 5.0);  // exactly one survivor, scaled by dim/k = 5
+}
+
+TEST(RandK, UnbiasedOnAwkwardDimension) {
+  // dim = 7, fraction = 0.3: k = round(2.1) = 2, so the realized keep-rate
+  // 2/7 differs from the nominal 0.3. Averaging many compressions must
+  // still recover the input — the regression the 1/fraction scaling bug
+  // would fail (systematic 5% inflation, far outside the tolerance).
+  const RandKCompressor comp(0.3);
+  ASSERT_EQ(comp.kept(7), 2u);
+  const std::vector<double> original = {1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0};
+  std::vector<double> mean(7, 0.0);
+  const int trials = 40000;
+  Rng rng(17);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> delta = original;
+    comp.compress(delta, rng);
+    tensor::axpy(1.0 / trials, delta, mean);
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(mean[i], original[i], 0.03 * std::abs(original[i]));
+  }
+}
+
 TEST(RandK, DifferentSeedsPickDifferentSupports) {
   const RandKCompressor comp(0.2);
   std::vector<double> a(20, 1.0), b(20, 1.0);

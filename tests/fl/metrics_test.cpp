@@ -81,8 +81,9 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   EXPECT_EQ(header,
             "algorithm,round,train_loss,test_accuracy,grad_norm_sq,"
             "model_time,wall_seconds,mean_local_theta,comm_bytes,"
-            "sample_grad_evals,param_hash,t_broadcast,t_local_solve,"
-            "t_aggregate,t_eval");
+            "sample_grad_evals,param_hash,dropped_devices,straggler_devices,"
+            "uplink_retries,deadline_misses,realized_round_time,"
+            "t_broadcast,t_local_solve,t_aggregate,t_eval");
   EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
   EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
   std::filesystem::remove_all(dir);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/check.h"
 #include "util/error.h"
 
 namespace fedvr::fl {
@@ -61,6 +62,47 @@ TEST(TimingModel, ValidationIsConsistentWithGamma) {
   const TimingModel bad{.d_com = 0.0, .d_cmp = 1.0};
   EXPECT_THROW((void)bad.gamma(), Error);
   EXPECT_THROW((void)bad.round_time(1), Error);
+}
+
+TEST(TimingModel, FaultAdjustedRoundTimeScalesEachDelay) {
+  // t = d_com * com_multiplier + d_cmp * slowdown * tau: a straggler only
+  // inflates compute, a retried uplink only inflates communication.
+  const TimingModel tm{.d_com = 2.0, .d_cmp = 0.5};
+  EXPECT_DOUBLE_EQ(tm.round_time(10, 3.0, 1.0), 2.0 + 0.5 * 3.0 * 10.0);
+  EXPECT_DOUBLE_EQ(tm.round_time(10, 1.0, 7.0), 2.0 * 7.0 + 0.5 * 10.0);
+  EXPECT_DOUBLE_EQ(tm.round_time(10, 3.0, 7.0),
+                   2.0 * 7.0 + 0.5 * 3.0 * 10.0);
+}
+
+TEST(TimingModel, NeutralFaultFactorsAreBitIdenticalToPlainRoundTime) {
+  // The trainer's no-fault path must stay hash-identical to pre-fault
+  // builds, so multiplying by exactly 1.0 must not perturb a single bit.
+  const TimingModel tm{.d_com = 1.0 / 3.0, .d_cmp = 0.1};
+  for (std::size_t tau : {1u, 7u, 100u}) {
+    EXPECT_EQ(tm.round_time(tau, 1.0, 1.0), tm.round_time(tau));
+  }
+}
+
+TEST(TimingModel, FaultAdjustedRoundTimeRejectsSubUnitFactors) {
+  // Slowdowns and retry multipliers < 1 would mean faults speed devices
+  // up — always a caller bug.
+  const TimingModel tm;
+  EXPECT_THROW((void)tm.round_time(1, 0.5, 1.0), Error);
+  EXPECT_THROW((void)tm.round_time(1, 1.0, 0.9), Error);
+  EXPECT_THROW((void)tm.round_time(0, 1.0, 1.0), Error);
+}
+
+TEST(TimingModel, ValidationSurvivesDisabledCheckLayer) {
+  // TimingModel validation is ARGUMENT validation via util/error.h, not a
+  // hot-path fedvr::check invariant: disabling the gated check layer (the
+  // runtime analog of a -DFEDVR_CHECKS=OFF build) must not silence it.
+  const bool prev = check::set_enabled(false);
+  const TimingModel bad{.d_com = -1.0, .d_cmp = 0.1};
+  EXPECT_THROW((void)bad.validate(), Error);
+  EXPECT_THROW((void)bad.round_time(5), Error);
+  EXPECT_THROW((void)bad.round_time(5, 2.0, 2.0), Error);
+  EXPECT_THROW((void)bad.gamma(), Error);
+  check::set_enabled(prev);
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+// Fault-injection integration: the trainer must degrade gracefully under
+// crashes, stragglers, lossy uplinks, and round deadlines, while keeping
+// the repo's two contracts intact:
+//   * determinism — a fixed seed yields bit-identical traces for any
+//     thread-pool size, faults included;
+//   * no-fault neutrality — with the FaultModel disabled the engine takes
+//     the exact pre-fault code path (hash-identical traces).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fl/trainer.h"
+#include "testing/quadratic_model.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::fl {
+namespace {
+
+using fedvr::testing::quadratic_dataset;
+using fedvr::testing::QuadraticModel;
+
+constexpr std::size_t kDim = 5;
+
+opt::LocalSolver gd_solver(std::shared_ptr<const nn::Model> model,
+                           std::size_t tau = 4) {
+  opt::LocalSolverOptions o;
+  o.estimator = opt::Estimator::kFullGradient;
+  o.tau = tau;
+  o.eta = 0.2;
+  o.mu = 0.5;
+  return opt::LocalSolver(std::move(model), o);
+}
+
+data::FederatedDataset small_fed(std::size_t devices = 4) {
+  data::FederatedDataset fed;
+  for (std::size_t d = 0; d < devices; ++d) {
+    fed.train.push_back(quadratic_dataset(10 + 3 * d, kDim,
+                                          static_cast<double>(d), 0.3,
+                                          700 + d));
+    fed.test.push_back(
+        quadratic_dataset(4, kDim, static_cast<double>(d), 0.3, 800 + d));
+  }
+  return fed;
+}
+
+/// Devices with *identical local objectives* but unequal aggregation
+/// weights: device n holds (n + 1) copies of the same base dataset, so the
+/// per-device mean — and hence the full-gradient local trajectory — is the
+/// same everywhere while D_n/D varies. Any survivor subset, renormalized to
+/// weight one, must therefore aggregate to exactly the full-participation
+/// model; a renormalization bug shows up as a hash divergence.
+data::FederatedDataset replicated_fed(std::size_t devices) {
+  const data::Dataset base = quadratic_dataset(10, kDim, 1.5, 0.4, 900);
+  data::FederatedDataset fed;
+  for (std::size_t d = 0; d < devices; ++d) {
+    data::Dataset copies(base.sample_shape(), 0, 2);
+    for (std::size_t rep = 0; rep <= d; ++rep) copies.append(base);
+    fed.train.push_back(std::move(copies));
+    fed.test.push_back(quadratic_dataset(4, kDim, 1.5, 0.4, 950 + d));
+  }
+  return fed;
+}
+
+FaultModelConfig mixed_faults() {
+  FaultModelConfig cfg;
+  cfg.dropout_prob = 0.2;
+  cfg.straggler_prob = 0.4;
+  cfg.straggler_slowdown = 3.0;
+  cfg.uplink_loss_prob = 0.3;
+  cfg.uplink_max_retries = 2;
+  cfg.retry_backoff = 2.0;
+  return cfg;
+}
+
+TEST(TrainerFaults, DisabledModelMatchesDefaultOptionsBitForBit) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions plain;
+  plain.rounds = 6;
+  plain.seed = 17;
+  TrainerOptions with_disabled_model = plain;
+  with_disabled_model.faults = FaultModel{};  // explicit no-op
+  const Trainer t1(model, fed, plain);
+  const Trainer t2(model, fed, with_disabled_model);
+  const auto a = t1.run(gd_solver(model), "x");
+  const auto b = t2.run(gd_solver(model), "x");
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].param_hash, b.rounds[i].param_hash);
+    EXPECT_EQ(a.rounds[i].dropped_devices, 0u);
+    EXPECT_EQ(a.rounds[i].straggler_devices, 0u);
+    EXPECT_EQ(a.rounds[i].uplink_retries, 0u);
+    EXPECT_EQ(a.rounds[i].deadline_misses, 0u);
+  }
+  EXPECT_EQ(a.final_param_hash, b.final_param_hash);
+}
+
+TEST(TrainerFaults, RealizedRoundTimeEqualsAnalyticOnNoFaultPath) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions opts;
+  opts.rounds = 3;
+  opts.timing = TimingModel{.d_com = 2.0, .d_cmp = 0.25};
+  const Trainer trainer(model, fed, opts);
+  const std::size_t tau = 4;
+  const auto trace = trainer.run(gd_solver(model, tau), "t");
+  for (const auto& r : trace.rounds) {
+    EXPECT_DOUBLE_EQ(r.realized_round_time, opts.timing.round_time(tau));
+  }
+}
+
+TEST(TrainerFaults, TracesAreBitIdenticalAcrossPoolSizes) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(5);
+  TrainerOptions opts;
+  opts.rounds = 8;
+  opts.seed = 23;
+  opts.faults = FaultModel(mixed_faults());
+  const Trainer trainer(model, fed, opts);
+
+  auto run_with_pool = [&](std::size_t threads) {
+    util::ThreadPool::reset_global(threads);
+    return trainer.run(gd_solver(model), "faulted");
+  };
+  const auto serial = run_with_pool(1);
+  const auto two = run_with_pool(2);
+  const auto full = run_with_pool(0);
+  util::ThreadPool::reset_global(0);
+
+  ASSERT_EQ(serial.rounds.size(), two.rounds.size());
+  ASSERT_EQ(serial.rounds.size(), full.rounds.size());
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    EXPECT_EQ(serial.rounds[i].param_hash, two.rounds[i].param_hash);
+    EXPECT_EQ(serial.rounds[i].param_hash, full.rounds[i].param_hash);
+    EXPECT_EQ(serial.rounds[i].dropped_devices, two.rounds[i].dropped_devices);
+    EXPECT_EQ(serial.rounds[i].dropped_devices,
+              full.rounds[i].dropped_devices);
+    EXPECT_EQ(serial.rounds[i].straggler_devices,
+              full.rounds[i].straggler_devices);
+    EXPECT_EQ(serial.rounds[i].uplink_retries, full.rounds[i].uplink_retries);
+    EXPECT_DOUBLE_EQ(serial.rounds[i].model_time, full.rounds[i].model_time);
+    EXPECT_DOUBLE_EQ(serial.rounds[i].realized_round_time,
+                     full.rounds[i].realized_round_time);
+  }
+  EXPECT_EQ(serial.final_param_hash, full.final_param_hash);
+  // The fault sequence actually fired (otherwise this test proves nothing).
+  EXPECT_GT(serial.back().dropped_devices + serial.back().straggler_devices,
+            0u);
+}
+
+TEST(TrainerFaults, SurvivorWeightsRenormalizeToOne) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = replicated_fed(4);
+  TrainerOptions plain;
+  plain.rounds = 10;
+  plain.seed = 31;  // chosen so every round keeps at least one survivor
+  TrainerOptions faulty = plain;
+  FaultModelConfig cfg;
+  cfg.dropout_prob = 0.3;
+  faulty.faults = FaultModel(cfg);
+  const Trainer t1(model, fed, plain);
+  const Trainer t2(model, fed, faulty);
+  const auto a = t1.run(gd_solver(model), "full");
+  const auto b = t2.run(gd_solver(model), "dropped");
+  // Identical local objectives: any renormalized survivor average equals
+  // the full-participation average up to summation rounding. A broken
+  // renormalization instead scales the model by the surviving weight mass
+  // (~0.7 here) — off by ~30%, not 1e-9.
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_NEAR(a.rounds[i].train_loss, b.rounds[i].train_loss, 1e-9);
+  }
+  ASSERT_EQ(a.final_parameters.size(), b.final_parameters.size());
+  for (std::size_t j = 0; j < a.final_parameters.size(); ++j) {
+    EXPECT_NEAR(a.final_parameters[j], b.final_parameters[j], 1e-9);
+  }
+  EXPECT_GT(b.back().dropped_devices, 0u);  // faults really fired
+}
+
+TEST(TrainerFaults, ZeroSurvivorRoundsKeepPreviousModel) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions opts;
+  opts.rounds = 5;
+  FaultModelConfig cfg;
+  cfg.dropout_prob = 1.0;  // everyone crashes, every round
+  opts.faults = FaultModel(cfg);
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, 0.25);
+  const auto trace = trainer.run(gd_solver(model), "ghost", w0);
+  EXPECT_EQ(trace.final_parameters, w0);
+  for (const auto& r : trace.rounds) {
+    // Crashes are detected immediately: nobody reports, no time passes.
+    EXPECT_DOUBLE_EQ(r.realized_round_time, 0.0);
+  }
+  EXPECT_EQ(trace.back().dropped_devices, 5u * fed.num_devices());
+}
+
+TEST(TrainerFaults, StragglersInflateTimeButNotTheModel) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions plain;
+  plain.rounds = 4;
+  plain.timing = TimingModel{.d_com = 1.0, .d_cmp = 0.5};
+  TrainerOptions slow = plain;
+  FaultModelConfig cfg;
+  cfg.straggler_prob = 1.0;
+  cfg.straggler_slowdown = 3.0;
+  slow.faults = FaultModel(cfg);
+  const Trainer t1(model, fed, plain);
+  const Trainer t2(model, fed, slow);
+  const std::size_t tau = 4;
+  const auto a = t1.run(gd_solver(model, tau), "x");
+  const auto b = t2.run(gd_solver(model, tau), "x");
+  // Stragglers deliver (late) updates: the model sequence is untouched.
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].param_hash, b.rounds[i].param_hash);
+  }
+  // ... but every round now costs d_com + slowdown * d_cmp * tau.
+  const double slow_round = 1.0 + 3.0 * 0.5 * static_cast<double>(tau);
+  EXPECT_NEAR(b.back().model_time, 4.0 * slow_round, 1e-12);
+  EXPECT_EQ(b.back().straggler_devices, 4u * fed.num_devices());
+}
+
+TEST(TrainerFaults, ExhaustedUplinkFreezesModelAndChargesRetries) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions opts;
+  opts.rounds = 3;
+  opts.timing = TimingModel{.d_com = 1.0, .d_cmp = 0.1};
+  FaultModelConfig cfg;
+  cfg.uplink_loss_prob = 1.0;  // every transmission lost
+  cfg.uplink_max_retries = 2;
+  cfg.retry_backoff = 2.0;
+  opts.faults = FaultModel(cfg);
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, -1.0);
+  const std::size_t tau = 4;
+  const auto trace = trainer.run(gd_solver(model, tau), "lossy", w0);
+  // No update ever reaches the server.
+  EXPECT_EQ(trace.final_parameters, w0);
+  EXPECT_EQ(trace.back().dropped_devices, 3u * fed.num_devices());
+  EXPECT_EQ(trace.back().uplink_retries, 3u * fed.num_devices() * 2u);
+  // Each device holds the barrier for d_com * (1 + 2 + 4) + d_cmp * tau.
+  const double per_round = 1.0 * 7.0 + 0.1 * static_cast<double>(tau);
+  EXPECT_NEAR(trace.back().model_time, 3.0 * per_round, 1e-12);
+  // Wire accounting: one dense downlink per participant plus THREE uplink
+  // attempts per device per round (first try + two retries), all lost.
+  const std::size_t down = kDim * sizeof(double);
+  const std::size_t per_round_bytes = fed.num_devices() * (down + 3u * down);
+  EXPECT_EQ(trace.back().comm_bytes, 3u * per_round_bytes);
+}
+
+TEST(TrainerFaults, DeadlineDegradesSlowDevicesOutOfAggregation) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  // Device 1 is pathologically slow: 1 + 2.0 * tau model-seconds per round.
+  const auto fed = small_fed(2);
+  TrainerOptions opts;
+  opts.rounds = 6;
+  opts.seed = 3;
+  opts.per_device_timing = {TimingModel{.d_com = 1.0, .d_cmp = 0.1},
+                            TimingModel{.d_com = 1.0, .d_cmp = 2.0}};
+  opts.round_deadline = 5.0;  // fast device (1.4) beats it; slow (9.0) misses
+  const Trainer trainer(model, fed, opts);
+  const std::size_t tau = 4;
+  const auto trace = trainer.run(gd_solver(model, tau), "deadline");
+
+  // The slow device misses every round; the server waits out the deadline.
+  EXPECT_EQ(trace.back().deadline_misses, 6u);
+  EXPECT_EQ(trace.back().dropped_devices, 6u);
+  for (const auto& r : trace.rounds) {
+    EXPECT_DOUBLE_EQ(r.realized_round_time, 5.0);
+  }
+  EXPECT_NEAR(trace.back().model_time, 6.0 * 5.0, 1e-12);
+
+  // With device 1 degraded out every round, the parameter sequence must be
+  // bit-identical to training on device 0 alone (its survivor weight
+  // renormalizes to exactly 1).
+  data::FederatedDataset solo;
+  solo.train.push_back(fed.train[0]);
+  solo.test.push_back(fed.test[0]);
+  TrainerOptions solo_opts;
+  solo_opts.rounds = 6;
+  solo_opts.seed = 3;
+  const Trainer solo_trainer(model, solo, solo_opts);
+  const auto solo_trace = solo_trainer.run(gd_solver(model, tau), "solo");
+  ASSERT_EQ(trace.rounds.size(), solo_trace.rounds.size());
+  for (std::size_t i = 0; i < trace.rounds.size(); ++i) {
+    EXPECT_EQ(trace.rounds[i].param_hash, solo_trace.rounds[i].param_hash);
+  }
+}
+
+TEST(TrainerFaults, DeadlineBelowEveryDeviceFreezesTheModel) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(2);
+  TrainerOptions opts;
+  opts.rounds = 3;
+  opts.timing = TimingModel{.d_com = 1.0, .d_cmp = 1.0};
+  opts.round_deadline = 0.5;  // round time is 1 + tau: nobody makes it
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, 2.0);
+  const auto trace = trainer.run(gd_solver(model), "impossible", w0);
+  EXPECT_EQ(trace.final_parameters, w0);
+  EXPECT_EQ(trace.back().deadline_misses, 3u * fed.num_devices());
+  for (const auto& r : trace.rounds) {
+    EXPECT_DOUBLE_EQ(r.realized_round_time, 0.5);
+  }
+}
+
+TEST(TrainerFaults, RejectsNonPositiveDeadline) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(2);
+  TrainerOptions opts;
+  opts.round_deadline = 0.0;
+  EXPECT_THROW(Trainer(model, fed, opts), util::Error);
+  opts.round_deadline = -1.0;
+  EXPECT_THROW(Trainer(model, fed, opts), util::Error);
+}
+
+TEST(TrainerFaults, CountersAccumulateMonotonically) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(5);
+  TrainerOptions opts;
+  opts.rounds = 10;
+  opts.seed = 13;
+  opts.faults = FaultModel(mixed_faults());
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model), "t");
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
+    EXPECT_GE(trace.rounds[i].dropped_devices,
+              trace.rounds[i - 1].dropped_devices);
+    EXPECT_GE(trace.rounds[i].straggler_devices,
+              trace.rounds[i - 1].straggler_devices);
+    EXPECT_GE(trace.rounds[i].uplink_retries,
+              trace.rounds[i - 1].uplink_retries);
+    EXPECT_GE(trace.rounds[i].comm_bytes, trace.rounds[i - 1].comm_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace fedvr::fl

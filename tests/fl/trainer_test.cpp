@@ -8,6 +8,7 @@
 #include "tensor/vecops.h"
 #include "testing/quadratic_model.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace fedvr::fl {
 namespace {
@@ -170,6 +171,72 @@ TEST(Trainer, ClientSamplingUsesSubsetAndStaysDeterministic) {
   EXPECT_LT(a.back().train_loss, a.rounds.front().train_loss * 1.5);
 }
 
+TEST(Trainer, SampledSubsetWeightsRenormalizeToOne) {
+  // Every device holds a copy of the same dataset, so each local solve
+  // returns (up to rounding) the same model: aggregating ANY sampled subset
+  // with weights renormalized to one must match full participation. A
+  // missing renormalization scales the model by the sampled weight mass
+  // (1/3 here) instead — a gross divergence, not rounding noise.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  data::FederatedDataset fed;
+  for (int d = 0; d < 3; ++d) {
+    fed.train.push_back(quadratic_dataset(12, kDim, 2.0, 0.2, 77));
+    fed.test.push_back(quadratic_dataset(4, kDim, 2.0, 0.2, 88));
+  }
+  TrainerOptions full;
+  full.rounds = 8;
+  full.seed = 19;
+  TrainerOptions sampled = full;
+  sampled.devices_per_round = 1;
+  const Trainer tf(model, fed, full);
+  const Trainer ts(model, fed, sampled);
+  const auto a = tf.run(gd_solver(model, 3, 0.2, 0.5), "full");
+  const auto b = ts.run(gd_solver(model, 3, 0.2, 0.5), "sampled");
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_NEAR(a.rounds[i].train_loss, b.rounds[i].train_loss, 1e-9);
+  }
+  for (std::size_t j = 0; j < kDim; ++j) {
+    EXPECT_NEAR(a.final_parameters[j], b.final_parameters[j], 1e-9);
+  }
+}
+
+TEST(Trainer, ClientSamplingIsDeterministicAcrossPoolSizes) {
+  // The participant draw forks its RNG by round, never from a shared
+  // stream, so the sampled subsets — and hence the whole trace — must be
+  // bit-identical whether devices run on 1, 2, or all hardware threads.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  data::FederatedDataset fed;
+  for (int d = 0; d < 6; ++d) {
+    fed.train.push_back(
+        quadratic_dataset(10 + d, kDim, static_cast<double>(d), 0.1,
+                          500 + static_cast<std::uint64_t>(d)));
+    fed.test.push_back(
+        quadratic_dataset(4, kDim, static_cast<double>(d), 0.1,
+                          600 + static_cast<std::uint64_t>(d)));
+  }
+  TrainerOptions opts;
+  opts.rounds = 8;
+  opts.seed = 29;
+  opts.devices_per_round = 2;
+  const Trainer trainer(model, fed, opts);
+  auto run_with_pool = [&](std::size_t threads) {
+    util::ThreadPool::reset_global(threads);
+    return trainer.run(gd_solver(model, 3, 0.2, 0.5), "s");
+  };
+  const auto serial = run_with_pool(1);
+  const auto two = run_with_pool(2);
+  const auto full = run_with_pool(0);
+  util::ThreadPool::reset_global(0);
+  ASSERT_EQ(serial.rounds.size(), two.rounds.size());
+  ASSERT_EQ(serial.rounds.size(), full.rounds.size());
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    EXPECT_EQ(serial.rounds[i].param_hash, two.rounds[i].param_hash);
+    EXPECT_EQ(serial.rounds[i].param_hash, full.rounds[i].param_hash);
+  }
+  EXPECT_EQ(serial.final_param_hash, full.final_param_hash);
+}
+
 TEST(Trainer, TargetAccuracyStopsEarly) {
   auto model = std::make_shared<QuadraticModel>(kDim);
   const auto fed = two_device_fed(10, 10, 0.0, 1.0);
@@ -179,6 +246,23 @@ TEST(Trainer, TargetAccuracyStopsEarly) {
   const Trainer trainer(model, fed, opts);
   const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
   EXPECT_EQ(trace.rounds.size(), 1u);
+}
+
+TEST(Trainer, TargetAccuracyFiresOnFirstEvaluatedRound) {
+  // With eval_every = 3 the accuracy is only observed at rounds 3, 6, ...:
+  // an always-satisfied target must stop at round 3 (the first EVALUATED
+  // round), producing exactly one trace entry — not round 1, and not a
+  // full-length run.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 50;
+  opts.eval_every = 3;
+  opts.target_accuracy = 0.0;
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
+  ASSERT_EQ(trace.rounds.size(), 1u);
+  EXPECT_EQ(trace.rounds.front().round, 3u);
 }
 
 TEST(Trainer, ProvidedInitialPointIsUsed) {
