@@ -1,5 +1,7 @@
 #include "fl/faults.h"
 
+#include <cmath>
+
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -35,6 +37,22 @@ util::Rng fault_stream(std::uint64_t seed, std::size_t device,
 }
 }  // namespace
 
+namespace {
+/// Draws the corruption kind from the configured weight mix. Fixed kind
+/// order (nan, sign, scale, stale) keeps the draw a pure function of the
+/// stream position for a given configuration.
+CorruptionKind draw_corruption_kind(util::Rng& rng,
+                                    const FaultModelConfig& cfg) {
+  const double total = cfg.corrupt_nan_weight + cfg.corrupt_sign_weight +
+                       cfg.corrupt_scale_weight + cfg.corrupt_stale_weight;
+  double x = rng.uniform() * total;
+  if ((x -= cfg.corrupt_nan_weight) < 0.0) return CorruptionKind::kNanInject;
+  if ((x -= cfg.corrupt_sign_weight) < 0.0) return CorruptionKind::kSignFlip;
+  if ((x -= cfg.corrupt_scale_weight) < 0.0) return CorruptionKind::kScale;
+  return CorruptionKind::kStaleReplay;
+}
+}  // namespace
+
 FaultModel::FaultModel(FaultModelConfig config) : config_(config) {
   FEDVR_CHECK_MSG(is_probability(config_.dropout_prob),
                   "dropout_prob must be in [0, 1], got "
@@ -50,6 +68,35 @@ FaultModel::FaultModel(FaultModelConfig config) : config_(config) {
                       << config_.straggler_slowdown);
   FEDVR_CHECK_MSG(config_.retry_backoff >= 1.0,
                   "retry_backoff must be >= 1, got " << config_.retry_backoff);
+  FEDVR_CHECK_MSG(is_probability(config_.corrupt_prob),
+                  "corrupt_prob must be in [0, 1], got "
+                      << config_.corrupt_prob);
+  FEDVR_CHECK_MSG(is_probability(config_.byzantine_fraction),
+                  "byzantine_fraction must be in [0, 1], got "
+                      << config_.byzantine_fraction);
+  FEDVR_CHECK_MSG(config_.corrupt_nan_weight >= 0.0 &&
+                      config_.corrupt_sign_weight >= 0.0 &&
+                      config_.corrupt_scale_weight >= 0.0 &&
+                      config_.corrupt_stale_weight >= 0.0,
+                  "corruption kind weights must be >= 0");
+  FEDVR_CHECK_MSG(!config_.corruption_enabled() ||
+                      config_.corrupt_nan_weight + config_.corrupt_sign_weight +
+                              config_.corrupt_scale_weight +
+                              config_.corrupt_stale_weight >
+                          0.0,
+                  "corruption is enabled but every kind weight is zero");
+  FEDVR_CHECK_MSG(std::isfinite(config_.corrupt_scale_factor) &&
+                      config_.corrupt_scale_factor > 0.0,
+                  "corrupt_scale_factor must be finite and > 0, got "
+                      << config_.corrupt_scale_factor);
+}
+
+bool FaultModel::is_byzantine(std::uint64_t seed, std::size_t device) const {
+  if (config_.byzantine_fraction <= 0.0) return false;
+  // Round 0 is never drawn by per-round sampling (trainer rounds are
+  // 1-based), so it is free for the device-level adversary draw.
+  util::Rng rng = fault_stream(seed, device, 0);
+  return rng.uniform() < config_.byzantine_fraction;
 }
 
 FaultEvent FaultModel::sample(std::uint64_t seed, std::size_t device,
@@ -82,6 +129,17 @@ FaultEvent FaultModel::sample(std::uint64_t seed, std::size_t device,
       ++attempt;
     }
     event.uplink_retries = attempt;
+  }
+  // Corruption draws come last and fire only when configured, so a config
+  // without corruption reproduces the exact pre-corruption event sequence.
+  if (config_.corruption_enabled() && !event.uplink_failed) {
+    event.byzantine = is_byzantine(seed, device);
+    const bool fires =
+        event.byzantine ||
+        (config_.corrupt_prob > 0.0 && rng.uniform() < config_.corrupt_prob);
+    if (fires) {
+      event.corruption = draw_corruption_kind(rng, config_);
+    }
   }
   return event;
 }

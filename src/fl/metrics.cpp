@@ -22,10 +22,19 @@ std::pair<double, std::size_t> TrainingTrace::best_accuracy() const {
   return {best, best_round};
 }
 
+namespace {
+/// The NaN policy shared by the loss statistics: a NaN round loss reads as
+/// +inf (maximally bad), so min/max/threshold comparisons — where NaN would
+/// silently compare false — behave as documented in metrics.h.
+double nan_as_inf(double loss) {
+  return std::isnan(loss) ? std::numeric_limits<double>::infinity() : loss;
+}
+}  // namespace
+
 std::optional<std::size_t> TrainingTrace::first_round_below_loss(
     double target) const {
   for (const auto& r : rounds) {
-    if (r.train_loss <= target) return r.round;
+    if (nan_as_inf(r.train_loss) <= target) return r.round;
   }
   return std::nullopt;
 }
@@ -33,7 +42,7 @@ std::optional<std::size_t> TrainingTrace::first_round_below_loss(
 double TrainingTrace::min_train_loss() const {
   FEDVR_CHECK_MSG(!rounds.empty(), "empty training trace");
   double best = std::numeric_limits<double>::infinity();
-  for (const auto& r : rounds) best = std::min(best, r.train_loss);
+  for (const auto& r : rounds) best = std::min(best, nan_as_inf(r.train_loss));
   return best;
 }
 
@@ -41,15 +50,18 @@ double TrainingTrace::max_train_loss() const {
   FEDVR_CHECK_MSG(!rounds.empty(), "empty training trace");
   double worst = -std::numeric_limits<double>::infinity();
   for (const auto& r : rounds) {
-    if (std::isnan(r.train_loss)) {
-      return std::numeric_limits<double>::infinity();
-    }
-    worst = std::max(worst, r.train_loss);
+    worst = std::max(worst, nan_as_inf(r.train_loss));
   }
   return worst;
 }
 
 bool TrainingTrace::diverged(double factor) const {
+  // A NaN loss at ANY round is divergence, full stop. The previous
+  // last-round-only check let a mid-trace NaN (or a NaN starting loss, which
+  // makes `last > factor * first` vacuously false) pass the detector.
+  for (const auto& r : rounds) {
+    if (std::isnan(r.train_loss)) return true;
+  }
   if (rounds.size() < 2) return false;
   const double first = rounds.front().train_loss;
   const double last = rounds.back().train_loss;
@@ -64,7 +76,8 @@ void TrainingTrace::write_csv(const std::string& path) const {
                        "param_hash", "dropped_devices", "straggler_devices",
                        "uplink_retries", "deadline_misses",
                        "realized_round_time", "t_broadcast", "t_local_solve",
-                       "t_aggregate", "t_eval"});
+                       "t_aggregate", "t_eval", "corrupted_updates",
+                       "rejected_updates", "quarantined_devices"});
   for (const auto& r : rounds) {
     // Measured phase columns are -1 when the run was not profiled, matching
     // the grad_norm_sq "not evaluated" convention.
@@ -91,6 +104,9 @@ void TrainingTrace::write_csv(const std::string& path) const {
         .add(timings.local_solve)
         .add(timings.aggregate)
         .add(timings.eval)
+        .add(r.corrupted_updates)
+        .add(r.rejected_updates)
+        .add(r.quarantined_devices)
         .commit();
   }
 }

@@ -58,6 +58,15 @@ struct RoundMetrics {
   std::size_t deadline_misses = 0;   // deadline-missed devices (a subset of
                                      // dropped_devices)
 
+  // Corruption & server-defense accounting (cumulative since round 1; all
+  // zero when no update corruption fires and no defense rejects anything):
+  std::size_t corrupted_updates = 0;   // delivered updates the fault layer
+                                       // corrupted (NaN/sign/scale/stale)
+  std::size_t rejected_updates = 0;    // updates rejected by server-side
+                                       // validation before aggregation
+  std::size_t quarantined_devices = 0; // device-rounds skipped because the
+                                       // device was quarantined
+
   /// Realized synchronous-barrier time of THIS round (not cumulative): the
   /// max over participants' fault-adjusted round times, capped at
   /// round_deadline when one is set. Equals the analytic per-round
@@ -92,19 +101,29 @@ struct TrainingTrace {
   /// Best test accuracy over the trace and the first round that achieved it.
   [[nodiscard]] std::pair<double, std::size_t> best_accuracy() const;
 
+  // NaN policy for the loss statistics below: a NaN round loss is treated
+  // as +infinity (maximally bad) — it can never be "the minimum", never
+  // counts as reaching a target, and forces the maximum to +inf — and any
+  // NaN anywhere in the trace makes diverged() true. NaN comparisons are
+  // all false, so without this policy a NaN-poisoned trace sails through
+  // every detector (the worst possible trace reads as "fine").
+
   /// First round whose train loss drops to `target` or below; nullopt if
-  /// never reached. Used for time-to-target comparisons.
+  /// never reached. Used for time-to-target comparisons. NaN rounds never
+  /// qualify.
   [[nodiscard]] std::optional<std::size_t> first_round_below_loss(
       double target) const;
 
-  /// Minimum training loss over the trace.
+  /// Minimum training loss over the trace (NaN rounds count as +inf).
   [[nodiscard]] double min_train_loss() const;
 
-  /// Maximum training loss over the trace (spikes reveal instability).
+  /// Maximum training loss over the trace (spikes reveal instability; any
+  /// NaN round makes this +inf).
   [[nodiscard]] double max_train_loss() const;
 
-  /// True when the tail of the loss curve exploded relative to its start —
-  /// the divergence detector used by the Fig. 4 mu-sweep.
+  /// True when the loss curve exploded: any NaN loss anywhere in the trace,
+  /// or a tail that grew past `factor` times the starting loss — the
+  /// divergence detector used by the Fig. 4 mu-sweep.
   [[nodiscard]] bool diverged(double factor = 2.0) const;
 
   /// Writes all rounds to a CSV at `path`.

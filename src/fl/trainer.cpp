@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <numeric>
 
 #include "check/check.h"
@@ -44,15 +45,24 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
       fed_(fed),
       options_(options),
       pooled_test_(fed.pooled_test()) {
+  // All constructor validation is ALWAYS-ON (util/error.h macros, not the
+  // FEDVR_CHECKS-gated layer): a Release/no-checks build must reject a
+  // malformed configuration loudly, not train garbage. Tested under
+  // check::set_enabled(false).
   FEDVR_CHECK(model_ != nullptr);
-  FEDVR_CHECK(fed_.num_devices() > 0);
-  FEDVR_CHECK(options_.rounds >= 1);
-  FEDVR_CHECK(options_.eval_every >= 1);
+  FEDVR_CHECK_MSG(fed_.num_devices() > 0, "need at least one device");
+  FEDVR_CHECK_MSG(options_.rounds >= 1, "rounds must be >= 1, got 0");
+  FEDVR_CHECK_MSG(options_.eval_every >= 1,
+                  "eval_every must be >= 1 (0 would evaluate nothing and "
+                  "divide by zero on the eval cadence)");
   if (options_.devices_per_round) {
     FEDVR_CHECK_MSG(*options_.devices_per_round >= 1 &&
                         *options_.devices_per_round <= fed_.num_devices(),
-                    "devices_per_round out of range");
+                    "devices_per_round must be in [1, "
+                        << fed_.num_devices() << "], got "
+                        << *options_.devices_per_round);
   }
+  options_.defense.validate();
   FEDVR_CHECK_MSG(options_.per_device_timing.empty() ||
                       options_.per_device_timing.size() == fed_.num_devices(),
                   "per_device_timing needs one entry per device");
@@ -218,6 +228,30 @@ TrainingTrace Trainer::run_impl(
   std::size_t total_stragglers = 0;
   std::size_t total_uplink_retries = 0;
   std::size_t total_deadline_misses = 0;
+  std::size_t total_corrupted = 0;
+  std::size_t total_rejected = 0;
+  std::size_t total_quarantined = 0;
+
+  // The line-12 aggregation rule: a null option selects the weighted mean,
+  // whose reduce order and arithmetic are bit-identical to the pre-seam
+  // trainer (tested against pinned trace hashes).
+  const std::shared_ptr<const Aggregator> aggregator =
+      options_.aggregator ? options_.aggregator
+                          : make_aggregator(AggregatorKind::kMean);
+
+  // Server-defense state: per-device strike counters and the round until
+  // which each device stays quarantined (inclusive). Mutated only in the
+  // serial validation pass, so defense decisions are pool-size-independent.
+  std::vector<std::size_t> strikes(num_devices, 0);
+  std::vector<std::size_t> quarantined_until(num_devices, 0);
+
+  // Round-scoped scratch, hoisted out of the loop: the pre-defense global
+  // model w̄^(s-1) (the aggregation anchor and norm-bound reference) and the
+  // accepted-update views handed to the aggregator.
+  std::vector<double> w_prev(dim);
+  std::vector<std::size_t> accepted;
+  std::vector<std::span<const double>> update_views;
+  std::vector<double> update_weights;
 
   for (std::size_t s = 1; s <= options_.rounds; ++s) {
     profiler.begin_round(s, num_devices);
@@ -248,6 +282,19 @@ TrainingTrace Trainer::run_impl(
         } else {
           participants.resize(num_devices);
           std::iota(participants.begin(), participants.end(), 0);
+        }
+
+        // Quarantined devices are not scheduled at all: no broadcast, no
+        // compute, no uplink. Filtered AFTER the selection draw so enabling
+        // quarantine never perturbs the kSelection RNG stream.
+        if (options_.defense.quarantine_enabled()) {
+          std::erase_if(participants, [&](std::size_t device) {
+            if (quarantined_until[device] < s) return false;
+            ++total_quarantined;
+            OBS_SPAN("round.defense.quarantined");
+            FEDVR_OBS_COUNT("fl.defense.quarantined_device_rounds", 1);
+            return true;
+          });
         }
 
         // Fault + timing pre-pass. Events are a pure function of
@@ -311,6 +358,14 @@ TrainingTrace Trainer::run_impl(
             ++total_dropped;
           } else {
             survivors.push_back(k);
+            if (event.corrupted()) {
+              // Counted here — per delivered update — so the counter says
+              // how many corrupted updates the server actually had to
+              // survive, not how many corruption events fired into the void.
+              ++total_corrupted;
+              OBS_SPAN("round.fault.corrupt");
+              FEDVR_OBS_COUNT("fl.faults.corrupted_updates", 1);
+            }
           }
         }
       }
@@ -322,6 +377,18 @@ TrainingTrace Trainer::run_impl(
       // shows up in the fault counters, not in sample_grad_evals.
       auto run_device = [&](std::size_t i) {
         const std::size_t device = participants[survivors[i]];
+        const FaultEvent& event = events[survivors[i]];
+        if (event.corruption == CorruptionKind::kStaleReplay) {
+          // The device free-rides: it re-sends whatever it uploaded last
+          // (or echoes the broadcast model verbatim if it never uploaded)
+          // without running the solver, so it contributes no fresh work.
+          if (locals[device].empty()) {
+            locals[device].assign(w_global.begin(), w_global.end());
+          }
+          thetas[device] = -1.0;
+          grad_evals[device] = 0;
+          return;
+        }
         OBS_SPAN("device.solve");
         const std::uint64_t solve_start = obs_on ? obs::now_ns() : 0;
         util::Rng rng = util::fork(options_.seed, device + 1, s,
@@ -338,6 +405,40 @@ TrainingTrace Trainer::run_impl(
           options_.uplink_compressor->compress(delta, comp_rng);
           tensor::copy(w_global, locals[device]);
           tensor::axpy(1.0, delta, locals[device]);
+        }
+        // Corruption mangles the transmitted bytes, so it applies after
+        // compression. Deterministic per (seed, device, round): the kind
+        // was fixed in the pre-pass and the mangling reads only device-local
+        // state, so corrupted traces stay pool-size-independent.
+        switch (event.corruption) {
+          case CorruptionKind::kNanInject: {
+            // Sparse deterministic poison: coordinate (device + s) mod dim,
+            // then every 64th after it, alternating NaN and +Inf.
+            std::vector<double>& v = locals[device];
+            bool use_nan = true;
+            for (std::size_t j = (device + s) % dim; j < dim; j += 64) {
+              v[j] = use_nan ? std::numeric_limits<double>::quiet_NaN()
+                             : std::numeric_limits<double>::infinity();
+              use_nan = !use_nan;
+            }
+            break;
+          }
+          case CorruptionKind::kSignFlip:
+            // w̄ - δ, i.e. 2·w̄ - w_n: the update pushes the wrong way.
+            tensor::scal(-1.0, locals[device]);
+            tensor::axpy(2.0, w_global, locals[device]);
+            break;
+          case CorruptionKind::kScale: {
+            // w̄ + f·δ, i.e. f·w_n + (1-f)·w̄: a magnitude explosion (or
+            // collapse) along the honest direction.
+            const double f = options_.faults.config().corrupt_scale_factor;
+            tensor::scal(f, locals[device]);
+            tensor::axpy(1.0 - f, w_global, locals[device]);
+            break;
+          }
+          case CorruptionKind::kNone:
+          case CorruptionKind::kStaleReplay:
+            break;  // replay already returned above
         }
         thetas[device] = result.measured_theta;
         grad_evals[device] = result.sample_gradient_evals;
@@ -364,24 +465,57 @@ TrainingTrace Trainer::run_impl(
         obs::RoundProfiler::ScopedPhase phase(profiler,
                                               obs::Phase::kAggregate);
         OBS_SPAN("round.aggregate");
-        // Global aggregation (line 12) over the round's survivors,
-        // reweighted so the weights of the aggregated subset sum to one. A
-        // zero-survivor round keeps w̄^(s-1) unchanged.
-        if (!survivors.empty()) {
-          double weight_sum = 0.0;
-          for (std::size_t k : survivors) {
-            weight_sum += fed_.weight(participants[k]);
+        // Server-side defense, then global aggregation (line 12) through
+        // the pluggable seam (fl/aggregation.h). Validation is ALWAYS-ON —
+        // plain function calls, not FEDVR_CHECKS-gated macros — because a
+        // production server must reject a poisoned update, not assert on
+        // it: one NaN in the weighted average corrupts every later round.
+        tensor::copy(w_global, w_prev);
+        accepted.clear();
+        for (std::size_t k : survivors) {
+          const std::size_t device = participants[k];
+          FEDVR_CHECK_INDEX(device, locals.size());
+          FEDVR_CHECK_SHAPE(locals[device].size(), dim);
+          bool ok = !options_.defense.reject_non_finite ||
+                    check::all_finite(locals[device]);
+          if (ok && options_.defense.update_norm_bound > 0.0) {
+            const double bound = options_.defense.update_norm_bound;
+            // NaN distances compare false, so a non-finite update that
+            // slipped past a disabled finiteness check still fails here.
+            ok = tensor::squared_distance(locals[device], w_prev) <=
+                 bound * bound;
           }
-          tensor::fill(w_global, 0.0);
-          for (std::size_t k : survivors) {
+          if (ok) {
+            accepted.push_back(k);
+            continue;
+          }
+          ++total_rejected;
+          OBS_SPAN("round.defense.reject");
+          FEDVR_OBS_COUNT("fl.defense.rejected_updates", 1);
+          if (options_.defense.quarantine_enabled() &&
+              ++strikes[device] >= options_.defense.quarantine_strikes) {
+            // Quarantine starts next round; the strike counter resets so a
+            // repeat offender re-earns its next quarantine from zero.
+            quarantined_until[device] = s + options_.defense.quarantine_rounds;
+            strikes[device] = 0;
+            FEDVR_OBS_COUNT("fl.defense.quarantines", 1);
+          }
+        }
+        // Aggregate the accepted updates, ascending device order. A round
+        // with nothing accepted keeps w̄^(s-1) unchanged.
+        if (!accepted.empty()) {
+          update_views.clear();
+          update_weights.clear();
+          for (std::size_t k : accepted) {
             const std::size_t device = participants[k];
-            FEDVR_CHECK_INDEX(device, locals.size());
-            FEDVR_CHECK_SHAPE(locals[device].size(), dim);
-            tensor::accumulate_weighted(fed_.weight(device) / weight_sum,
-                                        locals[device], w_global);
+            update_views.emplace_back(locals[device]);
+            update_weights.push_back(fed_.weight(device));
           }
-          // One bad device poisons the averaged model for every later
-          // round; fail at the round that aggregated it.
+          aggregator->aggregate(w_prev, update_views, update_weights,
+                                w_global);
+          // Belt and braces on top of the defense layer: with
+          // reject_non_finite force-disabled and a non-robust aggregator,
+          // fail at the round that aggregated the poison.
           FEDVR_CHECK_FINITE(w_global, "aggregated global model");
         }
 
@@ -428,6 +562,9 @@ TrainingTrace Trainer::run_impl(
         m.straggler_devices = total_stragglers;
         m.uplink_retries = total_uplink_retries;
         m.deadline_misses = total_deadline_misses;
+        m.corrupted_updates = total_corrupted;
+        m.rejected_updates = total_rejected;
+        m.quarantined_devices = total_quarantined;
         m.realized_round_time = realized_round_time;
         // Determinism audit: two runs with the same seed must produce
         // bit-identical parameters, hence equal hashes, at every eval round.

@@ -18,6 +18,7 @@
 #include <span>
 
 #include "data/dataset.h"
+#include "fl/aggregation.h"
 #include "fl/compression.h"
 #include "fl/faults.h"
 #include "fl/metrics.h"
@@ -64,11 +65,22 @@ struct TrainerOptions {
   /// non-empty (one per device), a synchronous round costs the *maximum*
   /// participant time instead of options.timing.
   std::vector<TimingModel> per_device_timing;
-  /// Deterministic fault injection (crashes, stragglers, lossy uplinks).
-  /// Disabled by default; see fl/faults.h. Devices that deliver no update
-  /// are dropped from line-12 aggregation and the survivors' weights are
-  /// renormalized to sum to 1 (a zero-survivor round keeps w̄^(s-1)).
+  /// Deterministic fault injection (crashes, stragglers, lossy uplinks,
+  /// update corruption). Disabled by default; see fl/faults.h. Devices that
+  /// deliver no update are dropped from line-12 aggregation and the
+  /// survivors' weights are renormalized to sum to 1 (a zero-survivor round
+  /// keeps w̄^(s-1)).
   FaultModel faults;
+  /// The line-12 aggregation rule. Null selects the survivor-reweighted
+  /// weighted mean — arithmetic bit-identical to the pre-seam trainer.
+  /// Robust alternatives: make_aggregator(AggregatorKind::kMedian /
+  /// kTrimmedMean / kNormClippedMean).
+  std::shared_ptr<const Aggregator> aggregator;
+  /// Server-side update validation and quarantine (fl/aggregation.h).
+  /// Validation is always-on and independent of FEDVR_CHECKS: non-finite
+  /// (and, when configured, norm-bound-violating) updates are rejected
+  /// before they reach the aggregator, repeat offenders are quarantined.
+  DefenseOptions defense;
   /// Optional synchronous-round deadline in model-time units: participants
   /// whose fault-adjusted round time exceeds it are excluded from
   /// aggregation, and the server charges at most the deadline per round

@@ -1,0 +1,254 @@
+// Unit tests for the pluggable line-12 seam (fl/aggregation.h): the mean
+// aggregator must reproduce the trainer's historical arithmetic exactly,
+// the robust aggregators must shrug off poisoned updates, and every
+// implementation must reduce in a pool-size-independent order.
+#include "fl/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::fl {
+namespace {
+
+using fedvr::util::Error;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<std::span<const double>> views(
+    const std::vector<std::vector<double>>& updates) {
+  std::vector<std::span<const double>> v;
+  v.reserve(updates.size());
+  for (const auto& u : updates) v.emplace_back(u);
+  return v;
+}
+
+std::vector<double> aggregate(const Aggregator& agg,
+                              const std::vector<double>& anchor,
+                              const std::vector<std::vector<double>>& updates,
+                              std::vector<double> weights = {}) {
+  if (weights.empty()) weights.assign(updates.size(), 1.0);
+  std::vector<double> out(anchor.size(), -123.0);
+  agg.aggregate(anchor, views(updates), weights, out);
+  return out;
+}
+
+TEST(Aggregation, FactoryNamesRoundTrip) {
+  for (const std::string_view name : aggregator_names()) {
+    const auto kind = aggregator_kind_from_name(name);
+    ASSERT_TRUE(kind.has_value()) << name;
+    EXPECT_EQ(make_aggregator(*kind)->name(), name);
+  }
+  EXPECT_FALSE(aggregator_kind_from_name("krum").has_value());
+  EXPECT_FALSE(aggregator_kind_from_name("").has_value());
+}
+
+TEST(Aggregation, OptionsAreValidatedAlwaysOn) {
+  AggregatorOptions bad;
+  bad.trim_fraction = 0.5;
+  EXPECT_THROW((void)make_aggregator(AggregatorKind::kTrimmedMean, bad),
+               Error);
+  bad.trim_fraction = -0.1;
+  EXPECT_THROW((void)make_aggregator(AggregatorKind::kTrimmedMean, bad),
+               Error);
+  bad = AggregatorOptions{};
+  bad.clip_norm = kNaN;
+  EXPECT_THROW((void)make_aggregator(AggregatorKind::kNormClippedMean, bad),
+               Error);
+}
+
+TEST(DefenseOptionsTest, ValidatesAlwaysOn) {
+  DefenseOptions bad;
+  bad.update_norm_bound = -1.0;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = DefenseOptions{};
+  bad.update_norm_bound = kInf;
+  EXPECT_THROW(bad.validate(), Error);
+  bad = DefenseOptions{};
+  bad.quarantine_strikes = 2;
+  bad.quarantine_rounds = 0;
+  EXPECT_THROW(bad.validate(), Error);
+  DefenseOptions ok;  // defaults must validate
+  ok.validate();
+  EXPECT_FALSE(ok.quarantine_enabled());
+}
+
+TEST(MeanAggregatorTest, MatchesTheHistoricalLine12Arithmetic) {
+  // The exact operation sequence the pre-seam trainer ran: weight_sum
+  // summed in update order, fill(0), then accumulate_weighted(w_i/sum) per
+  // update in order. Equality below is EXACT, not approximate.
+  const auto agg = make_aggregator(AggregatorKind::kMean);
+  const std::vector<double> anchor = {0.0, 0.0, 0.0};
+  const std::vector<std::vector<double>> updates = {
+      {1.0, 2.0, 3.0}, {-0.5, 0.25, 7.0}, {0.125, -2.0, 0.75}};
+  const std::vector<double> weights = {0.2, 0.5, 0.3};
+  const auto out = aggregate(*agg, anchor, updates, weights);
+
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  std::vector<double> expected(3);
+  tensor::fill(expected, 0.0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    tensor::accumulate_weighted(weights[i] / weight_sum, updates[i], expected);
+  }
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_EQ(out[j], expected[j]) << j;
+  }
+}
+
+TEST(MedianAggregatorTest, TakesCoordinateWiseMedian) {
+  const auto agg = make_aggregator(AggregatorKind::kMedian);
+  const std::vector<double> anchor = {0.0, 0.0};
+  // Odd count: the middle value, per coordinate, regardless of weights.
+  const auto odd = aggregate(*agg, anchor,
+                             {{1.0, 9.0}, {100.0, -3.0}, {2.0, 5.0}},
+                             {0.98, 0.01, 0.01});
+  EXPECT_DOUBLE_EQ(odd[0], 2.0);
+  EXPECT_DOUBLE_EQ(odd[1], 5.0);
+  // Even count: the average of the two middle values.
+  const auto even =
+      aggregate(*agg, anchor, {{1.0, 0.0}, {3.0, 0.0}, {7.0, 0.0},
+                               {100.0, 0.0}});
+  EXPECT_DOUBLE_EQ(even[0], 5.0);
+}
+
+TEST(MedianAggregatorTest, IgnoresNonFiniteValuesPerCoordinate) {
+  const auto agg = make_aggregator(AggregatorKind::kMedian);
+  const std::vector<double> anchor = {-7.0, -7.0, -7.0};
+  // Coordinate 0: one NaN among three → median of the finite two.
+  // Coordinate 1: +Inf outlier is ignored the same way.
+  // Coordinate 2: every value non-finite → fall back to the anchor.
+  const auto out = aggregate(
+      *agg, anchor,
+      {{kNaN, 4.0, kInf}, {2.0, kInf, kNaN}, {6.0, 8.0, -kInf}});
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+  EXPECT_DOUBLE_EQ(out[2], -7.0);
+}
+
+TEST(MedianAggregatorTest, SingleUpdatePassesThrough) {
+  const auto agg = make_aggregator(AggregatorKind::kMedian);
+  const auto out = aggregate(*agg, {0.0, 0.0}, {{3.0, -1.5}});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.5);
+}
+
+TEST(TrimmedMeanAggregatorTest, TrimsTailsPerCoordinate) {
+  AggregatorOptions opts;
+  opts.trim_fraction = 0.2;  // 5 values → trim 1 from each end
+  const auto agg = make_aggregator(AggregatorKind::kTrimmedMean, opts);
+  const auto out = aggregate(
+      *agg, {0.0},
+      {{-1000.0}, {1.0}, {2.0}, {3.0}, {1000.0}});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+}
+
+TEST(TrimmedMeanAggregatorTest, ZeroTrimIsTheUnweightedMean) {
+  AggregatorOptions opts;
+  opts.trim_fraction = 0.0;
+  const auto agg = make_aggregator(AggregatorKind::kTrimmedMean, opts);
+  const auto out = aggregate(*agg, {0.0}, {{1.0}, {2.0}, {6.0}});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(TrimmedMeanAggregatorTest, NonFiniteValuesLoseTheirVote) {
+  AggregatorOptions opts;
+  opts.trim_fraction = 0.25;  // of the 3 finite values, trim 0 (floor(0.75))
+  const auto agg = make_aggregator(AggregatorKind::kTrimmedMean, opts);
+  const auto out = aggregate(*agg, {9.0, 9.0},
+                             {{kNaN, kNaN}, {1.0, kInf}, {2.0, kNaN},
+                              {3.0, -kInf}});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 9.0);  // all non-finite → anchor
+}
+
+TEST(NormClippedMeanAggregatorTest, FixedBoundClipsExplodedDelta) {
+  AggregatorOptions opts;
+  opts.clip_norm = 1.0;
+  const auto agg = make_aggregator(AggregatorKind::kNormClippedMean, opts);
+  const std::vector<double> anchor = {0.0, 0.0};
+  // Update 0 has delta norm 1 (untouched); update 1 has norm 100, clipped
+  // down to a unit vector along +x.
+  const auto out = aggregate(*agg, anchor, {{0.0, 1.0}, {100.0, 0.0}});
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+TEST(NormClippedMeanAggregatorTest, AdaptiveBoundUsesMedianNorm) {
+  const auto agg = make_aggregator(AggregatorKind::kNormClippedMean);
+  const std::vector<double> anchor = {0.0};
+  // Norms 1, 2, 100 → median bound 2: the attacker contributes 2, not 100.
+  const auto out =
+      aggregate(*agg, anchor, {{1.0}, {2.0}, {100.0}});
+  EXPECT_DOUBLE_EQ(out[0], (1.0 + 2.0 + 2.0) / 3.0);
+}
+
+TEST(NormClippedMeanAggregatorTest, NonFiniteUpdatesAreExcluded) {
+  AggregatorOptions opts;
+  opts.clip_norm = 10.0;
+  const auto agg = make_aggregator(AggregatorKind::kNormClippedMean, opts);
+  const auto out = aggregate(*agg, {0.0}, {{kNaN}, {4.0}});
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  // Every update non-finite → the anchor is kept.
+  const auto frozen = aggregate(*agg, {3.5}, {{kNaN}, {kInf}});
+  EXPECT_DOUBLE_EQ(frozen[0], 3.5);
+}
+
+TEST(NormClippedMeanAggregatorTest, ZeroDeltasAreAFixedPoint) {
+  const auto agg = make_aggregator(AggregatorKind::kNormClippedMean);
+  const std::vector<double> anchor = {1.0, -2.0};
+  // All deltas zero → adaptive bound 0, but 0/0 never happens: norms at the
+  // bound are left unscaled.
+  const auto out = aggregate(*agg, anchor, {{1.0, -2.0}, {1.0, -2.0}});
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(Aggregation, EveryAggregatorIsBitIdenticalAcrossPoolSizes) {
+  // The coordinate-chunked implementations schedule chunks onto whatever
+  // pool exists; the per-coordinate arithmetic must not notice. Use a dim
+  // large enough for several 256-coordinate chunks and values awkward
+  // enough (irrational-ish magnitudes) that any reduction-order change
+  // would flip low bits.
+  constexpr std::size_t kDim = 1000;
+  constexpr std::size_t kUpdates = 70;  // > the 64-value stack fast path
+  std::vector<double> anchor(kDim);
+  std::vector<std::vector<double>> updates(kUpdates,
+                                           std::vector<double>(kDim));
+  std::vector<double> weights(kUpdates);
+  for (std::size_t i = 0; i < kUpdates; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 3);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      updates[i][j] = std::sin(static_cast<double>(i * kDim + j)) *
+                      (j % 97 == 0 ? 1e6 : 1.0);
+    }
+  }
+  for (std::size_t j = 0; j < kDim; ++j) {
+    anchor[j] = std::cos(static_cast<double>(j));
+  }
+  for (const std::string_view name : aggregator_names()) {
+    const auto agg = make_aggregator(*aggregator_kind_from_name(name));
+    auto run_with_pool = [&](std::size_t threads) {
+      util::ThreadPool::reset_global(threads);
+      std::vector<double> out(kDim);
+      agg->aggregate(anchor, views(updates), weights, out);
+      return out;
+    };
+    const auto serial = run_with_pool(1);
+    const auto two = run_with_pool(2);
+    const auto full = run_with_pool(0);
+    util::ThreadPool::reset_global(0);
+    EXPECT_EQ(serial, two) << name;
+    EXPECT_EQ(serial, full) << name;
+  }
+}
+
+}  // namespace
+}  // namespace fedvr::fl

@@ -189,5 +189,164 @@ TEST(FaultModel, CrashPreemptsOtherFaults) {
   EXPECT_FALSE(event.uplink_failed);
 }
 
+TEST(FaultModel, ValidatesCorruptionConfiguration) {
+  FaultModelConfig bad;
+  bad.corrupt_prob = -0.1;
+  EXPECT_THROW(FaultModel{bad}, Error);
+  bad = FaultModelConfig{};
+  bad.corrupt_prob = 1.5;
+  EXPECT_THROW(FaultModel{bad}, Error);
+  bad = FaultModelConfig{};
+  bad.byzantine_fraction = 2.0;
+  EXPECT_THROW(FaultModel{bad}, Error);
+  bad = FaultModelConfig{};
+  bad.corrupt_prob = 0.5;
+  bad.corrupt_nan_weight = -1.0;  // negative weights are meaningless
+  EXPECT_THROW(FaultModel{bad}, Error);
+  bad = FaultModelConfig{};
+  bad.corrupt_prob = 0.5;  // ... as is an all-zero mixture when enabled
+  bad.corrupt_nan_weight = 0.0;
+  bad.corrupt_sign_weight = 0.0;
+  bad.corrupt_scale_weight = 0.0;
+  bad.corrupt_stale_weight = 0.0;
+  EXPECT_THROW(FaultModel{bad}, Error);
+  bad = FaultModelConfig{};
+  bad.corrupt_prob = 0.5;
+  bad.corrupt_scale_factor = 0.0;  // scale must be finite and positive
+  EXPECT_THROW(FaultModel{bad}, Error);
+  // Zero weight for one kind is fine as long as the mixture is nonempty.
+  FaultModelConfig ok;
+  ok.corrupt_prob = 0.5;
+  ok.corrupt_stale_weight = 0.0;
+  EXPECT_TRUE(FaultModel(ok).enabled());
+}
+
+TEST(FaultModel, CorruptionAloneEnablesTheModel) {
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.1;
+  EXPECT_TRUE(FaultModel(cfg).enabled());
+  cfg = FaultModelConfig{};
+  cfg.byzantine_fraction = 0.1;
+  EXPECT_TRUE(FaultModel(cfg).enabled());
+  EXPECT_TRUE(cfg.corruption_enabled());
+  EXPECT_FALSE(FaultModelConfig{}.corruption_enabled());
+}
+
+TEST(FaultModel, EnablingCorruptionLeavesLegacyFaultFieldsUntouched) {
+  // Corruption draws come AFTER the dropout/straggler/uplink draws on the
+  // same per-(seed, device, round) stream, so switching corruption on must
+  // reproduce the legacy fault sequence bit for bit — an existing faulted
+  // experiment's trace is unchanged by adding an attack on top.
+  FaultModelConfig legacy;
+  legacy.dropout_prob = 0.2;
+  legacy.straggler_prob = 0.3;
+  legacy.uplink_loss_prob = 0.2;
+  FaultModelConfig with_corruption = legacy;
+  with_corruption.corrupt_prob = 0.5;
+  const FaultModel a(legacy);
+  const FaultModel b(with_corruption);
+  for (std::size_t device = 0; device < 10; ++device) {
+    for (std::size_t round = 1; round <= 10; ++round) {
+      const FaultEvent ea = a.sample(42, device, round);
+      const FaultEvent eb = b.sample(42, device, round);
+      EXPECT_EQ(ea.dropped, eb.dropped);
+      EXPECT_EQ(ea.straggler, eb.straggler);
+      EXPECT_DOUBLE_EQ(ea.slowdown, eb.slowdown);
+      EXPECT_EQ(ea.uplink_retries, eb.uplink_retries);
+      EXPECT_EQ(ea.uplink_failed, eb.uplink_failed);
+      EXPECT_EQ(ea.corruption, CorruptionKind::kNone);
+      EXPECT_FALSE(ea.corrupted());
+    }
+  }
+}
+
+TEST(FaultModel, CorruptionSamplingIsPureAndRateMatches) {
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.25;
+  const FaultModel model(cfg);
+  std::size_t corrupted = 0;
+  constexpr std::size_t kCells = 4000;
+  for (std::size_t device = 0; device < 40; ++device) {
+    for (std::size_t round = 1; round <= kCells / 40; ++round) {
+      const FaultEvent a = model.sample(11, device, round);
+      const FaultEvent b = model.sample(11, device, round);
+      EXPECT_EQ(a.corruption, b.corruption);
+      EXPECT_EQ(a.byzantine, b.byzantine);
+      if (a.corrupted()) ++corrupted;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(corrupted) / kCells, 0.25, 0.03);
+}
+
+TEST(FaultModel, KindWeightsSteerTheMixture) {
+  // nan:sign = 3:1, scale/stale off → roughly 75/25 among corrupted events
+  // and never a kScale or kStaleReplay.
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 1.0;
+  cfg.corrupt_nan_weight = 3.0;
+  cfg.corrupt_sign_weight = 1.0;
+  cfg.corrupt_scale_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  const FaultModel model(cfg);
+  std::size_t nan = 0, sign = 0;
+  constexpr std::size_t kCells = 4000;
+  for (std::size_t device = 0; device < 40; ++device) {
+    for (std::size_t round = 1; round <= kCells / 40; ++round) {
+      switch (model.sample(5, device, round).corruption) {
+        case CorruptionKind::kNanInject: ++nan; break;
+        case CorruptionKind::kSignFlip: ++sign; break;
+        default: FAIL() << "zero-weight kind drawn";
+      }
+    }
+  }
+  EXPECT_EQ(nan + sign, kCells);
+  EXPECT_NEAR(static_cast<double>(nan) / kCells, 0.75, 0.03);
+}
+
+TEST(FaultModel, ByzantineStatusIsADeviceLevelTrait) {
+  // byzantine_fraction marks a device once per seed, not per round: a
+  // Byzantine device corrupts EVERY update it delivers, for the whole run.
+  FaultModelConfig cfg;
+  cfg.byzantine_fraction = 0.4;
+  const FaultModel model(cfg);
+  std::size_t byzantine_devices = 0;
+  constexpr std::size_t kDevices = 200;
+  for (std::size_t device = 0; device < kDevices; ++device) {
+    const bool flagged = model.is_byzantine(77, device);
+    if (flagged) ++byzantine_devices;
+    for (std::size_t round = 1; round <= 6; ++round) {
+      const FaultEvent event = model.sample(77, device, round);
+      EXPECT_EQ(event.byzantine, flagged) << device << "/" << round;
+      EXPECT_EQ(event.corrupted(), flagged) << device << "/" << round;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(byzantine_devices) / kDevices, 0.4, 0.1);
+}
+
+TEST(FaultModel, CrashPreemptsCorruption) {
+  // A crashed device delivers nothing, so nothing of its can be corrupted.
+  FaultModelConfig cfg;
+  cfg.dropout_prob = 1.0;
+  cfg.corrupt_prob = 1.0;
+  const FaultModel model(cfg);
+  const FaultEvent event = model.sample(9, 4, 7);
+  EXPECT_TRUE(event.dropped);
+  EXPECT_EQ(event.corruption, CorruptionKind::kNone);
+  EXPECT_FALSE(event.corrupted());
+}
+
+TEST(FaultModel, ExhaustedUplinkPreemptsCorruption) {
+  // An update that never reaches the server cannot be corrupted either —
+  // the corruption counter must mean "poison the server actually received".
+  FaultModelConfig cfg;
+  cfg.uplink_loss_prob = 1.0;
+  cfg.uplink_max_retries = 1;
+  cfg.corrupt_prob = 1.0;
+  const FaultModel model(cfg);
+  const FaultEvent event = model.sample(9, 4, 7);
+  EXPECT_TRUE(event.uplink_failed);
+  EXPECT_EQ(event.corruption, CorruptionKind::kNone);
+}
+
 }  // namespace
 }  // namespace fedvr::fl

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -57,6 +58,11 @@ TEST(TrainingTrace, MinTrainLoss) {
   EXPECT_DOUBLE_EQ(t.min_train_loss(), 0.2);
 }
 
+TEST(TrainingTrace, MaxTrainLoss) {
+  const auto t = make_trace({1.0, 0.2, 0.5}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(t.max_train_loss(), 1.0);
+}
+
 TEST(TrainingTrace, DivergenceDetector) {
   EXPECT_FALSE(make_trace({1.0, 0.5}, {0, 0}).diverged());
   EXPECT_TRUE(make_trace({1.0, 5.0}, {0, 0}).diverged());
@@ -68,8 +74,52 @@ TEST(TrainingTrace, DivergenceDetector) {
   EXPECT_FALSE(make_trace({9.0}, {0}).diverged());
 }
 
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(TrainingTrace, NanAnywhereCountsAsDivergence) {
+  // Regression: the detector used to inspect only the LAST round's loss, so
+  // a run that blew up mid-trace and then "recovered" to a finite value —
+  // or one whose FIRST loss was NaN, making `last > factor * first`
+  // vacuously false — was reported as healthy.
+  auto mid = make_trace({1.0, 0.5, 0.4}, {0, 0, 0});
+  mid.rounds[1].train_loss = kNaN;
+  EXPECT_TRUE(mid.diverged());
+  auto first = make_trace({1.0, 0.5}, {0, 0});
+  first.rounds.front().train_loss = kNaN;
+  EXPECT_TRUE(first.diverged());
+  // Even a single-round trace with a NaN loss is divergence.
+  auto single = make_trace({1.0}, {0});
+  single.rounds.front().train_loss = kNaN;
+  EXPECT_TRUE(single.diverged());
+  // +Inf at the end is divergence via the non-finite check.
+  auto inf = make_trace({1.0, 1.0}, {0, 0});
+  inf.rounds.back().train_loss = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(inf.diverged());
+}
+
+TEST(TrainingTrace, LossStatsTreatNanAsPositiveInfinity) {
+  // Regression: NaN comparisons are false, so a NaN round used to be able
+  // to win min_train_loss (never beaten) or be skipped by max_train_loss
+  // and first_round_below_loss. The documented policy is NaN == +inf.
+  auto t = make_trace({1.0, 0.5, 0.2}, {0, 0, 0});
+  t.rounds[1].train_loss = kNaN;
+  EXPECT_DOUBLE_EQ(t.min_train_loss(), 0.2);
+  EXPECT_TRUE(std::isinf(t.max_train_loss()));
+  EXPECT_GT(t.max_train_loss(), 0.0);
+  // The NaN round (round 2) can never satisfy "below target"; round 3 does.
+  EXPECT_EQ(t.first_round_below_loss(0.5).value(), 3u);
+
+  auto all_nan = make_trace({1.0}, {0});
+  all_nan.rounds.front().train_loss = kNaN;
+  EXPECT_TRUE(std::isinf(all_nan.min_train_loss()));
+  EXPECT_FALSE(all_nan.first_round_below_loss(1e100).has_value());
+}
+
 TEST(TrainingTrace, WriteCsvRoundTrips) {
   auto t = make_trace({0.7, 0.6}, {0.5, 0.55});
+  t.rounds[1].corrupted_updates = 3;
+  t.rounds[1].rejected_updates = 2;
+  t.rounds[1].quarantined_devices = 1;
   const auto dir = testing::make_temp_dir("fedvr_metrics_test");
   const std::string path = (dir / "trace.csv").string();
   t.write_csv(path);
@@ -78,14 +128,21 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   std::getline(in, header);
   std::getline(in, row1);
   std::getline(in, row2);
+  // SCHEMA PIN: this header is the trace-file contract consumed by plotting
+  // and sweep tooling. Columns are position-stable — add new ones at the END
+  // only, and update this pin (and DESIGN.md's schema note) when you do.
   EXPECT_EQ(header,
             "algorithm,round,train_loss,test_accuracy,grad_norm_sq,"
             "model_time,wall_seconds,mean_local_theta,comm_bytes,"
             "sample_grad_evals,param_hash,dropped_devices,straggler_devices,"
             "uplink_retries,deadline_misses,realized_round_time,"
-            "t_broadcast,t_local_solve,t_aggregate,t_eval");
+            "t_broadcast,t_local_solve,t_aggregate,t_eval,"
+            "corrupted_updates,rejected_updates,quarantined_devices");
   EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
   EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
+  // The defense counters land in the last three columns of each row.
+  EXPECT_EQ(row1.substr(row1.size() - 6), ",0,0,0");
+  EXPECT_EQ(row2.substr(row2.size() - 6), ",3,2,1");
   std::filesystem::remove_all(dir);
 }
 

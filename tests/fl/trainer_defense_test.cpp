@@ -1,0 +1,495 @@
+// Byzantine-robustness integration: corrupted-update injection flowing
+// through the server-side defense layer (rejection + quarantine) and the
+// pluggable aggregators, end to end through Trainer::run. The repo's two
+// standing contracts still apply with corruption in flight:
+//   * determinism — fixed seed ⇒ bit-identical traces for any pool size,
+//     for EVERY aggregator;
+//   * neutrality — defense defaults + a null aggregator take the exact
+//     pre-seam code path (hash-identical traces).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "check/check.h"
+#include "fl/trainer.h"
+#include "testing/quadratic_model.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::fl {
+namespace {
+
+using fedvr::testing::quadratic_dataset;
+using fedvr::testing::QuadraticModel;
+
+constexpr std::size_t kDim = 5;
+
+opt::LocalSolver gd_solver(std::shared_ptr<const nn::Model> model,
+                           std::size_t tau = 4) {
+  opt::LocalSolverOptions o;
+  o.estimator = opt::Estimator::kFullGradient;
+  o.tau = tau;
+  o.eta = 0.2;
+  o.mu = 0.5;
+  return opt::LocalSolver(std::move(model), o);
+}
+
+data::FederatedDataset small_fed(std::size_t devices = 4) {
+  data::FederatedDataset fed;
+  for (std::size_t d = 0; d < devices; ++d) {
+    fed.train.push_back(quadratic_dataset(10 + 3 * d, kDim,
+                                          static_cast<double>(d), 0.3,
+                                          700 + d));
+    fed.test.push_back(
+        quadratic_dataset(4, kDim, static_cast<double>(d), 0.3, 800 + d));
+  }
+  return fed;
+}
+
+/// Identical local objectives, unequal weights (see trainer_faults_test):
+/// any accepted subset, renormalized, aggregates to the full-participation
+/// model — the tool for proving rejection renormalizes correctly.
+data::FederatedDataset replicated_fed(std::size_t devices) {
+  const data::Dataset base = quadratic_dataset(10, kDim, 1.5, 0.4, 900);
+  data::FederatedDataset fed;
+  for (std::size_t d = 0; d < devices; ++d) {
+    data::Dataset copies(base.sample_shape(), 0, 2);
+    for (std::size_t rep = 0; rep <= d; ++rep) copies.append(base);
+    fed.train.push_back(std::move(copies));
+    fed.test.push_back(quadratic_dataset(4, kDim, 1.5, 0.4, 950 + d));
+  }
+  return fed;
+}
+
+/// Every delivered update corrupted with the given kind, nothing else.
+FaultModelConfig always_corrupt(CorruptionKind kind) {
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 1.0;
+  cfg.corrupt_nan_weight = kind == CorruptionKind::kNanInject ? 1.0 : 0.0;
+  cfg.corrupt_sign_weight = kind == CorruptionKind::kSignFlip ? 1.0 : 0.0;
+  cfg.corrupt_scale_weight = kind == CorruptionKind::kScale ? 1.0 : 0.0;
+  cfg.corrupt_stale_weight =
+      kind == CorruptionKind::kStaleReplay ? 1.0 : 0.0;
+  return cfg;
+}
+
+TEST(TrainerDefense, NullAggregatorEqualsExplicitMeanBitForBit) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions null_agg;
+  null_agg.rounds = 6;
+  null_agg.seed = 17;
+  FaultModelConfig cfg;
+  cfg.dropout_prob = 0.2;
+  null_agg.faults = FaultModel(cfg);
+  TrainerOptions explicit_mean = null_agg;
+  explicit_mean.aggregator = make_aggregator(AggregatorKind::kMean);
+  const auto a = Trainer(model, fed, null_agg).run(gd_solver(model), "x");
+  const auto b =
+      Trainer(model, fed, explicit_mean).run(gd_solver(model), "x");
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].param_hash, b.rounds[i].param_hash);
+  }
+  EXPECT_EQ(a.final_param_hash, b.final_param_hash);
+}
+
+TEST(TrainerDefense, RejectionNeutralizesNanCorruptionUnderTheMean) {
+  // 20% NaN injection against the DEFAULT mean aggregator: the always-on
+  // finiteness rejection must keep the model finite and converging (the
+  // poisoned updates simply lose their seat; survivors renormalize).
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions opts;
+  opts.rounds = 12;
+  opts.seed = 7;
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.2;
+  cfg.corrupt_sign_weight = 0.0;
+  cfg.corrupt_scale_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  opts.faults = FaultModel(cfg);
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model), "nan_mean");
+  EXPECT_GT(trace.back().corrupted_updates, 0u);
+  EXPECT_EQ(trace.back().rejected_updates, trace.back().corrupted_updates);
+  EXPECT_FALSE(trace.diverged());
+  for (const auto& v : trace.final_parameters) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(trace.back().train_loss, trace.rounds.front().train_loss);
+}
+
+TEST(TrainerDefense, RejectedUpdatesRenormalizeLikeDrops) {
+  // Identical local objectives: rejecting the NaN-poisoned updates and
+  // renormalizing the honest remainder must reproduce the clean
+  // full-participation loss curve to summation rounding, even though the
+  // Byzantine devices computed (and shipped) garbage every round.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = replicated_fed(4);
+  TrainerOptions clean;
+  clean.rounds = 8;
+  clean.seed = 19;
+  TrainerOptions attacked = clean;
+  FaultModelConfig cfg;
+  cfg.byzantine_fraction = 0.5;  // persistent per-device Byzantine draw
+  cfg.corrupt_sign_weight = 0.0;
+  cfg.corrupt_scale_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  attacked.faults = FaultModel(cfg);
+  const auto a = Trainer(model, fed, clean).run(gd_solver(model), "clean");
+  const auto b =
+      Trainer(model, fed, attacked).run(gd_solver(model), "attacked");
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  // The attack really ran — and was fully absorbed.
+  EXPECT_GT(b.back().rejected_updates, 0u);
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_NEAR(a.rounds[i].train_loss, b.rounds[i].train_loss, 1e-9);
+  }
+}
+
+TEST(TrainerDefense, MedianAndTrimmedMeanSurviveNanWithoutRejection) {
+  // Defense layer force-disabled: the robust aggregators alone must carry
+  // the round — they drop non-finite values coordinate-wise, so a 20% NaN
+  // attack leaves the model finite and converging.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  for (const AggregatorKind kind :
+       {AggregatorKind::kMedian, AggregatorKind::kTrimmedMean}) {
+    TrainerOptions opts;
+    opts.rounds = 12;
+    opts.seed = 7;
+    opts.defense.reject_non_finite = false;
+    opts.aggregator = make_aggregator(kind);
+    FaultModelConfig cfg;
+    cfg.corrupt_prob = 0.2;
+    cfg.corrupt_sign_weight = 0.0;
+    cfg.corrupt_scale_weight = 0.0;
+    cfg.corrupt_stale_weight = 0.0;
+    opts.faults = FaultModel(cfg);
+    const Trainer trainer(model, fed, opts);
+    const auto trace = trainer.run(gd_solver(model), "robust");
+    EXPECT_GT(trace.back().corrupted_updates, 0u);
+    EXPECT_EQ(trace.back().rejected_updates, 0u);
+    EXPECT_FALSE(trace.diverged()) << opts.aggregator->name();
+    for (const auto& v : trace.final_parameters) {
+      EXPECT_TRUE(std::isfinite(v)) << opts.aggregator->name();
+    }
+    EXPECT_LT(trace.back().train_loss, trace.rounds.front().train_loss)
+        << opts.aggregator->name();
+  }
+}
+
+#if !defined(FEDVR_CHECKS_DISABLED)
+TEST(TrainerDefense, UnprotectedMeanAbortsAtThePoisonedRound) {
+  // With rejection force-disabled AND a non-robust aggregator, the
+  // belt-and-braces FEDVR_CHECK_FINITE after aggregation fires at the first
+  // round that folds a NaN into the global model. (In -DFEDVR_CHECKS=OFF
+  // builds that macro is compiled out; the checks-off behavior — NaN model,
+  // diverged() trace — is exercised by the example sweep instead.)
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions opts;
+  opts.rounds = 12;
+  opts.seed = 7;
+  opts.defense.reject_non_finite = false;
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.5;
+  cfg.corrupt_sign_weight = 0.0;
+  cfg.corrupt_scale_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  opts.faults = FaultModel(cfg);
+  const Trainer trainer(model, fed, opts);
+  EXPECT_THROW((void)trainer.run(gd_solver(model), "poisoned"), util::Error);
+}
+#endif
+
+TEST(TrainerDefense, MeanDegradesWhereMedianConvergesUnderScaleAttack) {
+  // Finite corruption the finiteness scan cannot catch: 60×-scaled deltas.
+  // The weighted mean eats them; the coordinate-wise median outvotes them.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(5);
+  TrainerOptions base;
+  base.rounds = 15;
+  base.seed = 11;
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.3;
+  cfg.corrupt_nan_weight = 0.0;
+  cfg.corrupt_sign_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  cfg.corrupt_scale_factor = 60.0;
+  base.faults = FaultModel(cfg);
+  TrainerOptions with_median = base;
+  with_median.aggregator = make_aggregator(AggregatorKind::kMedian);
+  const auto mean_trace =
+      Trainer(model, fed, base).run(gd_solver(model), "mean");
+  const auto median_trace =
+      Trainer(model, fed, with_median).run(gd_solver(model), "median");
+  EXPECT_GT(mean_trace.back().corrupted_updates, 0u);
+  // Nothing is rejected — scale corruption is finite and no norm bound is
+  // set — so any robustness below comes from the aggregator alone.
+  EXPECT_EQ(mean_trace.back().rejected_updates, 0u);
+  EXPECT_FALSE(median_trace.diverged());
+  EXPECT_LT(median_trace.back().train_loss,
+            median_trace.rounds.front().train_loss);
+  // The attacked mean's worst round is far above the median's: the scaled
+  // updates repeatedly blast the averaged model away from the optimum.
+  EXPECT_GT(mean_trace.max_train_loss(), 10.0 * median_trace.max_train_loss());
+}
+
+TEST(TrainerDefense, NormBoundRejectsFiniteMagnitudeExplosions) {
+  // The norm bound catches what the finiteness scan cannot: finite but
+  // hugely scaled updates. With every poisoned update rejected, the
+  // replicated fixture again pins the loss curve to the clean run. The
+  // 10⁴ scale keeps corrupted deltas above the bound even in late rounds
+  // where honest deltas have contracted to near zero (a fixed bound cannot
+  // separate a mild scaling from an honest update forever).
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = replicated_fed(4);
+  TrainerOptions clean;
+  clean.rounds = 8;
+  clean.seed = 19;
+  TrainerOptions attacked = clean;
+  FaultModelConfig cfg;
+  cfg.byzantine_fraction = 0.5;
+  cfg.corrupt_nan_weight = 0.0;
+  cfg.corrupt_sign_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  cfg.corrupt_scale_factor = 1e4;
+  attacked.faults = FaultModel(cfg);
+  attacked.defense.update_norm_bound = 4.0;
+  const std::vector<double> w0(kDim, 0.0);
+  const auto a =
+      Trainer(model, fed, clean).run(gd_solver(model), "clean", w0);
+  const auto b =
+      Trainer(model, fed, attacked).run(gd_solver(model), "bounded", w0);
+  EXPECT_GT(b.back().rejected_updates, 0u);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_NEAR(a.rounds[i].train_loss, b.rounds[i].train_loss, 1e-9);
+  }
+}
+
+TEST(TrainerDefense, QuarantineLifecycleIsExact) {
+  // Every device NaN-corrupts every round; strikes=2, quarantine=3 rounds.
+  // The full lifecycle is then a fixed arithmetic pattern:
+  //   r1: all rejected (strike 1)      r2: all rejected → quarantined to r5
+  //   r3-r5: all quarantined           r6: back, rejected (strike 1)
+  //   r7: rejected → quarantined again
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(3);
+  const std::size_t n = fed.num_devices();
+  TrainerOptions opts;
+  opts.rounds = 7;
+  opts.faults = FaultModel(always_corrupt(CorruptionKind::kNanInject));
+  opts.defense.quarantine_strikes = 2;
+  opts.defense.quarantine_rounds = 3;
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, 0.5);
+  const auto trace = trainer.run(gd_solver(model), "quarantine", w0);
+  // Nothing is ever accepted: the model never moves.
+  EXPECT_EQ(trace.final_parameters, w0);
+  ASSERT_EQ(trace.rounds.size(), 7u);
+  const auto& r = trace.rounds;
+  const std::size_t expected_rejected[] = {n,     2 * n, 2 * n, 2 * n,
+                                           2 * n, 3 * n, 4 * n};
+  const std::size_t expected_quarantined[] = {0, 0, n, 2 * n, 3 * n,
+                                              3 * n, 3 * n};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r[i].rejected_updates, expected_rejected[i]) << "round " << i;
+    EXPECT_EQ(r[i].quarantined_devices, expected_quarantined[i])
+        << "round " << i;
+    // Corrupted counts delivered updates, so it tracks rejected exactly.
+    EXPECT_EQ(r[i].corrupted_updates, r[i].rejected_updates) << "round " << i;
+  }
+}
+
+TEST(TrainerDefense, QuarantineComposesWithClientSampling) {
+  // devices_per_round draws from the full population; quarantine then
+  // filters the draw. With every device corrupt and strikes=1, the pool
+  // shrinks round by round until whole rounds are empty — the trainer must
+  // ride through zero-participant rounds without touching the model.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(4);
+  TrainerOptions opts;
+  opts.rounds = 6;
+  opts.seed = 5;
+  opts.devices_per_round = 2;
+  opts.faults = FaultModel(always_corrupt(CorruptionKind::kNanInject));
+  opts.defense.quarantine_strikes = 1;
+  opts.defense.quarantine_rounds = 4;
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, -0.75);
+  const auto trace = trainer.run(gd_solver(model), "sampled", w0);
+  EXPECT_EQ(trace.final_parameters, w0);
+  EXPECT_GT(trace.back().rejected_updates, 0u);
+  EXPECT_GT(trace.back().quarantined_devices, 0u);
+  // Selection happens before the quarantine filter, so enabling quarantine
+  // must not perturb the kSelection stream: the same seed without defense
+  // sees the same per-round corrupted (i.e. selected+delivered) schedule
+  // for the rounds before anyone is quarantined (round 1 here).
+  TrainerOptions no_defense = opts;
+  no_defense.defense = DefenseOptions{};
+  no_defense.defense.reject_non_finite = false;
+  no_defense.aggregator = make_aggregator(AggregatorKind::kMedian);
+  const auto open = Trainer(model, fed, no_defense)
+                        .run(gd_solver(model), "open", w0);
+  EXPECT_EQ(open.rounds.front().corrupted_updates,
+            trace.rounds.front().corrupted_updates);
+}
+
+TEST(TrainerDefense, StaleReplayFreezesFreeRiders) {
+  // A replaying device re-sends its previous upload without solving. With
+  // EVERY device replaying from round 1, everyone echoes the broadcast w0:
+  // the model never moves and no device ever evaluates a gradient.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(3);
+  TrainerOptions opts;
+  opts.rounds = 5;
+  opts.faults = FaultModel(always_corrupt(CorruptionKind::kStaleReplay));
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, 1.25);
+  const auto trace = trainer.run(gd_solver(model), "replay", w0);
+  EXPECT_EQ(trace.final_parameters, w0);
+  EXPECT_EQ(trace.back().sample_grad_evals, 0u);
+  EXPECT_EQ(trace.back().corrupted_updates, 5u * fed.num_devices());
+  // Replayed models are finite and within any norm bound: never rejected.
+  EXPECT_EQ(trace.back().rejected_updates, 0u);
+}
+
+TEST(TrainerDefense, SignFlipMirrorsTheHonestStep) {
+  // One device, always sign-flipped: the server receives 2·w̄ - w_n, so the
+  // model walks AWAY from the optimum along the honest trajectory. The
+  // loss must be monotonically nondecreasing — and strictly worse by the
+  // end — instead of converging.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(1);
+  TrainerOptions opts;
+  opts.rounds = 5;
+  opts.faults = FaultModel(always_corrupt(CorruptionKind::kSignFlip));
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model), "flip");
+  EXPECT_GT(trace.back().train_loss, trace.rounds.front().train_loss);
+  EXPECT_EQ(trace.back().corrupted_updates, 5u);
+}
+
+TEST(TrainerDefense, ZeroSurvivorDeadlineRoundsSkipDefenseAndAggregation) {
+  // Deadline below every device's round time: zero survivors reach the
+  // defense layer, no aggregator runs, and the defense counters stay zero
+  // even with corruption and quarantine armed.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(2);
+  TrainerOptions opts;
+  opts.rounds = 3;
+  opts.timing = TimingModel{.d_com = 1.0, .d_cmp = 1.0};
+  opts.round_deadline = 0.5;
+  opts.faults = FaultModel(always_corrupt(CorruptionKind::kNanInject));
+  opts.defense.quarantine_strikes = 1;
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, 2.0);
+  const auto trace = trainer.run(gd_solver(model), "nobody", w0);
+  EXPECT_EQ(trace.final_parameters, w0);
+  EXPECT_EQ(trace.back().deadline_misses, 3u * fed.num_devices());
+  EXPECT_EQ(trace.back().corrupted_updates, 0u);
+  EXPECT_EQ(trace.back().rejected_updates, 0u);
+  EXPECT_EQ(trace.back().quarantined_devices, 0u);
+}
+
+TEST(TrainerDefense, DefenseCountersAccumulateMonotonically) {
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(5);
+  TrainerOptions opts;
+  opts.rounds = 10;
+  opts.seed = 13;
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.4;
+  cfg.dropout_prob = 0.1;
+  opts.faults = FaultModel(cfg);
+  opts.defense.quarantine_strikes = 1;
+  opts.defense.quarantine_rounds = 2;
+  opts.aggregator = make_aggregator(AggregatorKind::kTrimmedMean);
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model), "t");
+  EXPECT_GT(trace.back().corrupted_updates, 0u);
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
+    EXPECT_GE(trace.rounds[i].corrupted_updates,
+              trace.rounds[i - 1].corrupted_updates);
+    EXPECT_GE(trace.rounds[i].rejected_updates,
+              trace.rounds[i - 1].rejected_updates);
+    EXPECT_GE(trace.rounds[i].quarantined_devices,
+              trace.rounds[i - 1].quarantined_devices);
+  }
+}
+
+TEST(TrainerDefense, EveryAggregatorIsBitIdenticalAcrossPoolSizesUnderAttack) {
+  // The acceptance bar: with a corruption mix in flight (NaN + sign flip +
+  // scale + replay) and quarantine armed, all four aggregators must produce
+  // bit-identical traces for pool sizes 1, 2, and N.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed(5);
+  for (const std::string_view name : aggregator_names()) {
+    TrainerOptions opts;
+    opts.rounds = 8;
+    opts.seed = 23;
+    FaultModelConfig cfg;
+    cfg.corrupt_prob = 0.5;
+    cfg.dropout_prob = 0.1;
+    opts.faults = FaultModel(cfg);
+    opts.defense.quarantine_strikes = 2;
+    opts.defense.quarantine_rounds = 2;
+    opts.aggregator = make_aggregator(*aggregator_kind_from_name(name));
+    const Trainer trainer(model, fed, opts);
+    auto run_with_pool = [&](std::size_t threads) {
+      util::ThreadPool::reset_global(threads);
+      return trainer.run(gd_solver(model), "attacked");
+    };
+    const auto serial = run_with_pool(1);
+    const auto two = run_with_pool(2);
+    const auto full = run_with_pool(0);
+    util::ThreadPool::reset_global(0);
+    ASSERT_EQ(serial.rounds.size(), two.rounds.size());
+    ASSERT_EQ(serial.rounds.size(), full.rounds.size());
+    for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+      EXPECT_EQ(serial.rounds[i].param_hash, two.rounds[i].param_hash)
+          << name << " round " << i;
+      EXPECT_EQ(serial.rounds[i].param_hash, full.rounds[i].param_hash)
+          << name << " round " << i;
+      EXPECT_EQ(serial.rounds[i].corrupted_updates,
+                full.rounds[i].corrupted_updates);
+      EXPECT_EQ(serial.rounds[i].rejected_updates,
+                full.rounds[i].rejected_updates);
+      EXPECT_EQ(serial.rounds[i].quarantined_devices,
+                full.rounds[i].quarantined_devices);
+    }
+    EXPECT_EQ(serial.final_param_hash, full.final_param_hash);
+    // The corruption mix actually fired.
+    EXPECT_GT(serial.back().corrupted_updates, 0u) << name;
+  }
+}
+
+TEST(TrainerDefense, DefenseSurvivesDisabledCheckLayer) {
+  // The defense layer is the production path, NOT debug instrumentation: it
+  // must reject NaN updates with the FEDVR_CHECKS runtime gate off.
+  const bool prev = check::set_enabled(false);
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = small_fed();
+  TrainerOptions opts;
+  opts.rounds = 8;
+  opts.seed = 7;
+  FaultModelConfig cfg;
+  cfg.corrupt_prob = 0.3;
+  cfg.corrupt_sign_weight = 0.0;
+  cfg.corrupt_scale_weight = 0.0;
+  cfg.corrupt_stale_weight = 0.0;
+  opts.faults = FaultModel(cfg);
+  opts.defense.quarantine_strikes = 2;
+  const Trainer trainer(model, fed, opts);
+  const auto trace = trainer.run(gd_solver(model), "nochecks");
+  check::set_enabled(prev);
+  EXPECT_GT(trace.back().rejected_updates, 0u);
+  EXPECT_FALSE(trace.diverged());
+  for (const auto& v : trace.final_parameters) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace fedvr::fl

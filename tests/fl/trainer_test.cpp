@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "check/check.h"
 #include "tensor/vecops.h"
 #include "testing/quadratic_model.h"
 #include "util/error.h"
@@ -54,6 +55,39 @@ TEST(Trainer, ValidatesConstruction) {
   data::FederatedDataset with_empty = two_device_fed(10, 10, 0.0, 1.0);
   with_empty.train[1] = data::Dataset(tensor::Shape({kDim}), 0, 2);
   EXPECT_THROW(Trainer(model, with_empty, TrainerOptions{}), Error);
+}
+
+TEST(Trainer, OptionValidationSurvivesDisabledCheckLayer) {
+  // Constructor validation is the production guard rail, not debug
+  // instrumentation: every malformed-option throw below must fire with the
+  // FEDVR_CHECKS runtime gate off (and in -DFEDVR_CHECKS=OFF builds, where
+  // this test runs with the gated macros compiled out entirely).
+  const bool prev = check::set_enabled(false);
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions bad;
+  bad.eval_every = 0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  bad = TrainerOptions{};
+  bad.devices_per_round = 0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  bad = TrainerOptions{};
+  bad.devices_per_round = fed.num_devices() + 1;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  bad = TrainerOptions{};
+  bad.rounds = 0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  bad = TrainerOptions{};
+  bad.round_deadline = -1.0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  bad = TrainerOptions{};
+  bad.defense.update_norm_bound = -2.0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  bad = TrainerOptions{};
+  bad.defense.quarantine_strikes = 1;
+  bad.defense.quarantine_rounds = 0;
+  EXPECT_THROW(Trainer(model, fed, bad), Error);
+  check::set_enabled(prev);
 }
 
 TEST(Trainer, GlobalLossIsWeightedDeviceLoss) {

@@ -26,6 +26,14 @@ Rules, each tied to a repo invariant:
                     ownership in this codebase is RAII (unique_ptr /
                     vector); a naked new is either a leak or a smell.
 
+  aggregation-in-seam
+                    tensor::accumulate_weighted — the line-12 weighted-
+                    average primitive — outside src/fl/aggregation.* (or its
+                    definition in src/tensor/vecops.*): server-side update
+                    aggregation must flow through the fl::Aggregator seam so
+                    the Byzantine defenses (rejection, quarantine, robust
+                    rules) cannot be bypassed by a hand-rolled average.
+
 False positives are silenced with `// lint:allow(<rule>) <why>` on the
 offending line or the line directly above it — the justification is
 mandatory and shows up in review.
@@ -75,6 +83,17 @@ RULES = [
         lambda p: True,
         "no naked new/delete; use std::make_unique / std::make_shared "
         "or a container",
+    ),
+    (
+        "aggregation-in-seam",
+        re.compile(r"\baccumulate_weighted\b"),
+        lambda p: not (
+            (p.parent == SRC / "fl" and p.stem == "aggregation")
+            or (p.parent == SRC / "tensor" and p.stem == "vecops")
+        ),
+        "line-12 weighted averaging belongs behind the fl::Aggregator seam "
+        "(src/fl/aggregation.*); hand-rolled averages bypass the server's "
+        "Byzantine defenses",
     ),
 ]
 
