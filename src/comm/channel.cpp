@@ -1,0 +1,111 @@
+#include "comm/channel.h"
+
+#include <vector>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::comm {
+
+LinkModel LinkModel::derive(const fl::TimingModel& timing,
+                            std::size_t reference_bytes,
+                            double latency_fraction) {
+  timing.validate();
+  FEDVR_CHECK_MSG(reference_bytes > 0, "reference_bytes must be positive");
+  FEDVR_CHECK_MSG(latency_fraction >= 0.0 && latency_fraction < 1.0,
+                  "latency_fraction must be in [0, 1), got "
+                      << latency_fraction);
+  const double latency = latency_fraction * timing.d_com;
+  const double transfer = (1.0 - latency_fraction) * timing.d_com;
+  return LinkModel{
+      .latency = latency,
+      .bytes_per_time = static_cast<double>(reference_bytes) / transfer};
+}
+
+void ChannelOptions::validate() const {
+  FEDVR_CHECK_MSG(latency_fraction >= 0.0 && latency_fraction < 1.0,
+                  "latency_fraction must be in [0, 1), got "
+                      << latency_fraction);
+  // dtype_name throws on an out-of-range tag (possible via memcpy'd enums).
+  (void)dtype_name(uplink_dtype);
+  (void)dtype_name(downlink_dtype);
+}
+
+bool ChannelOptions::transforms_uplink() const {
+  return compressor != nullptr || error_feedback ||
+         uplink_dtype != DType::kFloat64;
+}
+
+std::string ChannelOptions::label() const {
+  std::string s = compressor ? compressor->name() : "dense";
+  if (error_feedback) s += "+ef";
+  s += "/" + dtype_name(uplink_dtype);
+  return s;
+}
+
+Channel::Channel(ChannelOptions options, std::size_t num_devices,
+                 std::size_t dim)
+    : options_(std::move(options)), dim_(dim) {
+  FEDVR_CHECK_MSG(num_devices > 0, "channel needs >= 1 device");
+  FEDVR_CHECK_MSG(dim > 0, "channel needs dim >= 1");
+  options_.validate();
+  if (options_.error_feedback) ef_ = ErrorFeedback(num_devices, dim);
+}
+
+std::size_t Channel::uplink(std::size_t device, std::span<double> delta,
+                            util::Rng& rng) {
+  FEDVR_CHECK_MSG(delta.size() == dim_, "uplink delta size mismatch");
+  if (!options_.transforms_uplink()) {
+    // Pure accounting: dense float64 round-trips bit-exactly, so skip the
+    // encode/decode and leave the update untouched (this keeps the
+    // no-channel trainer path arithmetically identical to the pre-comm
+    // engine while still charging measured message sizes).
+    return uplink_wire_bytes();
+  }
+  // Error-feedback recursion (error_feedback.h): compensate, transmit,
+  // absorb the round's compression + quantization error.
+  std::vector<double> corrected;
+  if (options_.error_feedback) {
+    ef_.compensate(device, delta);
+    corrected.assign(delta.begin(), delta.end());
+  }
+  if (options_.compressor) {
+    options_.compressor->compress(delta, rng);
+  }
+  const Message msg =
+      options_.compressor
+          ? Message::encode_nonzeros(delta, options_.uplink_dtype)
+          : Message::encode_dense(delta, options_.uplink_dtype);
+  msg.decode(delta);  // what the server actually receives
+  if (options_.error_feedback) {
+    ef_.absorb(device, corrected, delta);
+  }
+  return msg.wire_size();
+}
+
+std::size_t Channel::uplink_wire_bytes() const {
+  const std::size_t kept =
+      options_.compressor ? options_.compressor->kept(dim_) : dim_;
+  return wire_bytes(options_.uplink_dtype, dim_, kept,
+                    /*sparse=*/options_.compressor != nullptr);
+}
+
+std::size_t Channel::downlink_wire_bytes() const {
+  return wire_bytes(options_.downlink_dtype, dim_, dim_, /*sparse=*/false);
+}
+
+double Channel::link_round_time(const fl::TimingModel& timing) const {
+  // Reference: the dense float64 down+up exchange the analytic d_com was
+  // calibrated against.
+  const std::size_t reference =
+      2 * wire_bytes(DType::kFloat64, dim_, dim_, /*sparse=*/false);
+  const LinkModel link =
+      LinkModel::derive(timing, reference, options_.latency_fraction);
+  return link.transfer_time(downlink_wire_bytes() + uplink_wire_bytes());
+}
+
+void Channel::reset() {
+  if (options_.error_feedback) ef_.reset();
+}
+
+}  // namespace fedvr::comm

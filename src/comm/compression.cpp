@@ -1,13 +1,14 @@
-#include "fl/compression.h"
+#include "comm/compression.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cmath>
 #include <numeric>
 #include <vector>
 
 #include "util/error.h"
 
-namespace fedvr::fl {
+namespace fedvr::comm {
 
 namespace {
 std::size_t kept_count(double fraction, std::size_t dim) {
@@ -19,6 +20,14 @@ std::size_t kept_count(double fraction, std::size_t dim) {
 
 // Sparse wire format: 8-byte value + 4-byte index per kept coordinate.
 std::size_t sparse_bytes(std::size_t kept) { return kept * (8 + 4); }
+
+// Shortest round-trip decimal for name()/label() strings: "0.25", not
+// std::to_string's "0.250000".
+std::string format_fraction(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", fraction);
+  return buf;
+}
 }  // namespace
 
 TopKCompressor::TopKCompressor(double fraction) : fraction_(fraction) {
@@ -61,7 +70,7 @@ std::size_t TopKCompressor::wire_bytes(std::size_t dim) const {
 }
 
 std::string TopKCompressor::name() const {
-  return "top-k(" + std::to_string(fraction_) + ")";
+  return "top-k(" + format_fraction(fraction_) + ")";
 }
 
 RandKCompressor::RandKCompressor(double fraction) : fraction_(fraction) {
@@ -94,7 +103,7 @@ std::size_t RandKCompressor::wire_bytes(std::size_t dim) const {
 }
 
 std::string RandKCompressor::name() const {
-  return "rand-k(" + std::to_string(fraction_) + ")";
+  return "rand-k(" + format_fraction(fraction_) + ")";
 }
 
-}  // namespace fedvr::fl
+}  // namespace fedvr::comm

@@ -1,0 +1,84 @@
+// Uplink compression for device -> server model updates.
+//
+// The paper buys communication efficiency with more local computation
+// (large tau); sparsifying the uplink is the orthogonal, widely-used lever
+// (Konecny et al., "Federated Learning: Strategies for Improving
+// Communication Efficiency" — the paper's ref. [13]). A compressor acts on
+// the update *delta* w_n - w̄^(s-1): the server reconstructs
+// w̄^(s-1) + C(delta), so compression error never touches the anchor.
+//
+// Compressors are one stage of the comm::Channel uplink pipeline
+// (error-feedback compensation -> compress -> serialize as a comm::Message
+// -> decode). Outside this subsystem nothing calls compress() directly —
+// tools/lint.py's compression-in-seam rule enforces it — because a raw
+// compressor silently drops the error-feedback correction and the wire-byte
+// accounting the channel provides.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace fedvr::comm {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Sparsifies/quantizes `delta` in place. `rng` drives any randomization
+  /// (deterministic per (device, round) via the caller's stream fork).
+  virtual void compress(std::span<double> delta, util::Rng& rng) const = 0;
+
+  /// Coordinates that survive compression of a `dim`-vector — the sparse
+  /// payload size the channel's a-priori wire accounting uses. Dense
+  /// compressors keep everything.
+  [[nodiscard]] virtual std::size_t kept(std::size_t dim) const {
+    return dim;
+  }
+
+  /// Bytes on the wire for one compressed vector of length `dim`
+  /// (values + indices for sparse formats). DEPRECATED: an analytic
+  /// estimate that predates the wire format; comm::Channel accounts from
+  /// actual serialized comm::Message sizes instead.
+  [[nodiscard]] virtual std::size_t wire_bytes(std::size_t dim) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Keeps the `fraction` largest-magnitude coordinates, zeroing the rest.
+/// Biased but low-distortion; the FL deployment default. Pair with the
+/// channel's error feedback: plain TopK stalls at a compression-error floor
+/// on ill-aligned objectives, TopK+EF provably converges (Stich et al.,
+/// "Sparsified SGD with Memory").
+class TopKCompressor final : public Compressor {
+ public:
+  explicit TopKCompressor(double fraction);
+  void compress(std::span<double> delta, util::Rng& rng) const override;
+  [[nodiscard]] std::size_t wire_bytes(std::size_t dim) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t kept(std::size_t dim) const override;
+
+ private:
+  double fraction_;
+};
+
+/// Keeps k = max(1, llround(fraction * dim)) uniformly random coordinates,
+/// rescaled by dim/k so the compressed delta is unbiased: E[C(x)] = x.
+/// The rescale must use the *realized* keep-rate k/dim — for small or
+/// awkward dims k/dim != fraction, and scaling by 1/fraction would bias
+/// the estimator.
+class RandKCompressor final : public Compressor {
+ public:
+  explicit RandKCompressor(double fraction);
+  void compress(std::span<double> delta, util::Rng& rng) const override;
+  [[nodiscard]] std::size_t wire_bytes(std::size_t dim) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t kept(std::size_t dim) const override;
+
+ private:
+  double fraction_;
+};
+
+}  // namespace fedvr::comm

@@ -1,0 +1,44 @@
+#include "comm/error_feedback.h"
+
+#include <algorithm>
+
+#include "tensor/vecops.h"
+#include "util/error.h"
+
+namespace fedvr::comm {
+
+ErrorFeedback::ErrorFeedback(std::size_t num_devices, std::size_t dim)
+    : dim_(dim), residuals_(num_devices, std::vector<double>(dim, 0.0)) {
+  FEDVR_CHECK_MSG(num_devices > 0, "error feedback needs >= 1 device");
+  FEDVR_CHECK_MSG(dim > 0, "error feedback needs dim >= 1");
+}
+
+void ErrorFeedback::compensate(std::size_t device,
+                               std::span<double> delta) const {
+  FEDVR_CHECK_MSG(device < residuals_.size(),
+                  "device " << device << " out of range");
+  FEDVR_CHECK_MSG(delta.size() == dim_, "delta size mismatch");
+  tensor::axpy(1.0, residuals_[device], delta);
+}
+
+void ErrorFeedback::absorb(std::size_t device,
+                           std::span<const double> corrected,
+                           std::span<const double> reconstructed) {
+  FEDVR_CHECK_MSG(device < residuals_.size(),
+                  "device " << device << " out of range");
+  FEDVR_CHECK_MSG(corrected.size() == dim_ && reconstructed.size() == dim_,
+                  "residual size mismatch");
+  tensor::sub(corrected, reconstructed, residuals_[device]);
+}
+
+std::span<const double> ErrorFeedback::residual(std::size_t device) const {
+  FEDVR_CHECK_MSG(device < residuals_.size(),
+                  "device " << device << " out of range");
+  return residuals_[device];
+}
+
+void ErrorFeedback::reset() {
+  for (auto& e : residuals_) std::fill(e.begin(), e.end(), 0.0);
+}
+
+}  // namespace fedvr::comm

@@ -1,0 +1,59 @@
+// Per-device error-feedback accumulators (EF / "SGD with memory").
+//
+// Biased compressors (TopK) drop mass every round; plain TopK training
+// therefore stalls at an error floor instead of converging. Error feedback
+// repairs this by remembering what compression threw away and re-injecting
+// it into the next update (Stich, Cordonnier & Jaggi, 2018; Karimireddy et
+// al., 2019). The per-device recursion the channel runs on every uplink:
+//
+//     corrected_n  = delta_n + e_n            (compensate)
+//     sent_n       = decode(encode(C(corrected_n)))   (what the server sees)
+//     e_n         <- corrected_n - sent_n     (remember the new residual)
+//
+// Note the residual is measured against the *decoded* payload, so it also
+// absorbs quantization error from the float32/int8 wire dtypes — EF makes
+// aggressive dtypes safe the same way it makes TopK safe.
+//
+// Determinism: residuals are strictly per-device state, touched only from
+// that device's uplink; rounds are sequential, so the recursion's history
+// is independent of how devices are scheduled onto threads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedvr::comm {
+
+class ErrorFeedback {
+ public:
+  /// Disabled accumulator (no devices); apply() must not be called.
+  ErrorFeedback() = default;
+
+  /// One dim-sized residual per device, zero-initialized.
+  ErrorFeedback(std::size_t num_devices, std::size_t dim);
+
+  /// delta += e_device (the compensation step).
+  void compensate(std::size_t device, std::span<double> delta) const;
+
+  /// e_device = corrected - reconstructed (the memory update). `corrected`
+  /// is the compensated pre-compression delta, `reconstructed` the decoded
+  /// message payload the server will aggregate.
+  void absorb(std::size_t device, std::span<const double> corrected,
+              std::span<const double> reconstructed);
+
+  /// The current residual of one device (diagnostics, tests).
+  [[nodiscard]] std::span<const double> residual(std::size_t device) const;
+
+  /// Zeroes every residual (fresh training run over the same channel).
+  void reset();
+
+  [[nodiscard]] std::size_t num_devices() const { return residuals_.size(); }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::vector<double>> residuals_;
+};
+
+}  // namespace fedvr::comm

@@ -1,0 +1,113 @@
+// The wire format: what actually crosses a device<->server link.
+//
+// Every model update travels as one comm::Message — a flat byte buffer with
+// a fixed 24-byte header followed by the payload. Three value encodings are
+// supported (dtype tag in the header):
+//
+//   kFloat64   8 bytes/value, bit-exact round trip (the determinism dtype);
+//   kFloat32   4 bytes/value, one float cast per value — relative error
+//              bounded by 2^-24 per coordinate (round-to-nearest);
+//   kInt8Block 1 byte/value plus one float32 scale per 32-value block
+//              (the ggml-style block-quantization layout): v is stored as
+//              round(v / scale) with scale = max|block| / 127, so the
+//              absolute error per coordinate is at most max|block| / 254
+//              (half a quantization step). A block of zeros stores scale 0.
+//
+// A message is either dense (count == dim values in coordinate order) or
+// sparse (count u32 coordinate indices, ascending, then count values — the
+// TopK/RandK payload shape). decode() zero-fills coordinates a sparse
+// message does not carry.
+//
+// Layout (little-endian, the only byte order fedvr targets):
+//
+//   offset  size  field
+//        0     2  magic "FV"
+//        2     1  format version (kVersion)
+//        3     1  dtype tag (DType)
+//        4     1  flags (bit 0: sparse)
+//        5     3  reserved (zero)
+//        8     8  dim    — coordinates of the full vector (u64)
+//       16     8  count  — encoded values (== dim when dense) (u64)
+//       24     …  [sparse only] count × u32 ascending coordinate indices
+//        …     …  values (dtype-dependent; see payload_bytes())
+//
+// Encoding is a pure function of (values, dtype): encoding the same vector
+// twice yields byte-identical buffers, which the determinism tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedvr::comm {
+
+enum class DType : std::uint8_t {
+  kFloat64 = 0,
+  kFloat32 = 1,
+  kInt8Block = 2,
+};
+
+/// Human-readable dtype tag for trace/CSV labels.
+[[nodiscard]] std::string dtype_name(DType dtype);
+
+/// Values per int8 quantization block (one float32 scale each).
+inline constexpr std::size_t kQuantBlock = 32;
+
+/// Fixed header size in bytes.
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/// Serialized bytes of `count` values in `dtype` (values only, no header or
+/// index section).
+[[nodiscard]] std::size_t payload_bytes(DType dtype, std::size_t count);
+
+/// Total wire size of a message without building it: header + optional
+/// sparse index section + value payload. The a-priori size used for
+/// communication accounting of transmissions whose payload is never
+/// materialized (lost uplink attempts, the timing pre-pass).
+[[nodiscard]] std::size_t wire_bytes(DType dtype, std::size_t dim,
+                                     std::size_t count, bool sparse);
+
+class Message {
+ public:
+  /// Serializes a full vector (count == dim, no index section).
+  [[nodiscard]] static Message encode_dense(std::span<const double> values,
+                                            DType dtype);
+
+  /// Serializes a sparse vector: `indices` are ascending coordinates into a
+  /// vector of `dim` coordinates, `values[i]` the value at `indices[i]`.
+  [[nodiscard]] static Message encode_sparse(
+      std::size_t dim, std::span<const std::uint32_t> indices,
+      std::span<const double> values, DType dtype);
+
+  /// Convenience: serializes the nonzero coordinates of `delta` as a sparse
+  /// message (the shape a TopK/RandK-compressed update has after the zeroed
+  /// coordinates are dropped).
+  [[nodiscard]] static Message encode_nonzeros(std::span<const double> delta,
+                                               DType dtype);
+
+  /// Parses and validates a received byte buffer (magic, version, dtype,
+  /// flags, section sizes, ascending indices). Throws util::Error on any
+  /// malformed input — a server must reject a corrupt frame, not decode it.
+  [[nodiscard]] static Message from_bytes(std::vector<std::uint8_t> bytes);
+
+  /// Deserializes into `out` (size must equal dim()). Dense messages
+  /// overwrite every coordinate; sparse messages zero-fill the coordinates
+  /// they do not carry, so `out` is exactly the server's reconstruction.
+  void decode(std::span<double> out) const;
+
+  [[nodiscard]] DType dtype() const;
+  [[nodiscard]] bool sparse() const;
+  [[nodiscard]] std::size_t dim() const;
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::size_t wire_size() const { return bytes_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+ private:
+  explicit Message(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace fedvr::comm

@@ -1,0 +1,274 @@
+#include "core/proxskip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "check/check.h"
+#include "fl/trainer.h"
+#include "tensor/vecops.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::core {
+
+void ProxSkipVROptions::validate() const {
+  FEDVR_CHECK_MSG(iterations >= 1, "iterations must be >= 1");
+  FEDVR_CHECK_MSG(std::isfinite(step_size) && step_size > 0.0,
+                  "step_size must be positive and finite, got " << step_size);
+  FEDVR_CHECK_MSG(skip_prob > 0.0 && skip_prob <= 1.0,
+                  "skip_prob must be in (0, 1], got " << skip_prob);
+  FEDVR_CHECK_MSG(batch_size >= 1, "batch_size must be >= 1");
+  FEDVR_CHECK_MSG(eval_every >= 1, "eval_every must be >= 1");
+  timing.validate();
+  comm.validate();
+  FEDVR_CHECK_MSG(!faults.config().corruption_enabled(),
+                  "ProxSkip-VR does not model update corruption (no "
+                  "server-side defense layer); use fl::Trainer for "
+                  "Byzantine experiments");
+}
+
+fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
+                                  const data::FederatedDataset& fed,
+                                  const ProxSkipVROptions& options,
+                                  const std::string& name,
+                                  std::optional<std::vector<double>> w0) {
+  FEDVR_CHECK_MSG(model != nullptr, "model must not be null");
+  FEDVR_CHECK_MSG(fed.num_devices() >= 1, "need at least one device");
+  options.validate();
+
+  const std::size_t num_devices = fed.num_devices();
+  const std::size_t dim = model->num_parameters();
+  const double gamma = options.step_size;
+  const double p = options.skip_prob;
+  const double gamma_over_p = gamma / p;
+  const double p_over_gamma = p / gamma;
+  const double backoff = options.faults.config().retry_backoff;
+
+  // Evaluation helper: reuse the trainer's pooled-test / global-objective
+  // machinery (eq. 2) without running its round loop.
+  const fl::Trainer evaluator(model, fed, fl::TrainerOptions{});
+
+  std::vector<double> anchor;  // last broadcast consensus model
+  if (w0.has_value()) {
+    FEDVR_CHECK_MSG(w0->size() == dim,
+                    "w0 has " << w0->size() << " parameters, model needs "
+                              << dim);
+    anchor = std::move(*w0);
+  } else {
+    util::Rng init_rng =
+        util::fork(options.seed, 0, 0, util::stream::kInit);
+    anchor = model->initial_parameters(init_rng);
+  }
+
+  // Per-device state. Each slot is touched only from its own device's
+  // parallel_for index (determinism contract).
+  std::vector<std::vector<double>> x(num_devices, anchor);   // local iterates
+  std::vector<std::vector<double>> h(num_devices,
+                                     std::vector<double>(dim, 0.0));
+  std::vector<std::vector<double>> anchor_grad(
+      num_devices, std::vector<double>(dim, 0.0));  // ∇F_n(anchor), SVRG
+  std::vector<std::vector<double>> uploads(num_devices,
+                                           std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> realized_uplink(num_devices, 0);
+  std::vector<std::size_t> grad_evals(num_devices, 0);  // cumulative
+  std::vector<fl::FaultEvent> events(num_devices);
+
+  comm::Channel channel(options.comm, num_devices, dim);
+  const bool byte_timing = options.comm.byte_timing;
+  fl::TimingModel timing = options.timing;
+  if (byte_timing) timing.d_com = channel.link_round_time(options.timing);
+
+  util::ThreadPool& pool = util::ThreadPool::global();
+  const bool run_parallel = options.parallel && pool.size() > 1;
+
+  const auto refresh_anchor_gradients = [&](std::size_t n) {
+    model->full_gradient(anchor, fed.train[n], anchor_grad[n]);
+    grad_evals[n] += fed.train[n].size();
+  };
+  const auto for_each_device = [&](const std::function<void(std::size_t)>& f) {
+    if (run_parallel) {
+      pool.parallel_for(0, num_devices, f);
+    } else {
+      for (std::size_t n = 0; n < num_devices; ++n) f(n);
+    }
+  };
+  for_each_device(refresh_anchor_gradients);
+
+  fl::TrainingTrace trace;
+  trace.algorithm = name;
+
+  // Cumulative accounting (trace schema of fl::Trainer).
+  double model_time = 0.0;
+  std::size_t total_uplink_bytes = 0;
+  std::size_t total_downlink_bytes = 0;
+  std::size_t total_dropped = 0;
+  std::size_t total_stragglers = 0;
+  std::size_t total_uplink_retries = 0;
+
+  // x̄_t = Σ_n (D_n/D) x_n — the analysis-side average iterate; equals the
+  // broadcast model at communication rounds. Serial ascending accumulation.
+  std::vector<double> xbar(dim, 0.0);
+  const auto virtual_average = [&]() {
+    tensor::fill(xbar, 0.0);
+    for (std::size_t n = 0; n < num_devices; ++n) {
+      tensor::axpy(fed.weight(n), x[n], xbar);
+    }
+  };
+  const auto record = [&](std::size_t t, double realized_round_time) {
+    virtual_average();
+    fl::RoundMetrics m;
+    m.round = t;
+    m.train_loss = evaluator.global_loss(xbar);
+    m.test_accuracy = evaluator.test_accuracy(xbar);
+    m.model_time = model_time;
+    m.uplink_bytes = total_uplink_bytes;
+    m.downlink_bytes = total_downlink_bytes;
+    m.comm_bytes = total_uplink_bytes + total_downlink_bytes;
+    m.sample_grad_evals =
+        std::accumulate(grad_evals.begin(), grad_evals.end(), std::size_t{0});
+    m.dropped_devices = total_dropped;
+    m.straggler_devices = total_stragglers;
+    m.uplink_retries = total_uplink_retries;
+    m.realized_round_time = realized_round_time;
+    m.param_hash = check::hash_span(xbar);
+    trace.rounds.push_back(m);
+  };
+
+  if (options.eval_initial) record(0, 0.0);
+
+  std::vector<double> x_next(dim, 0.0);
+  bool target_reached = false;
+
+  for (std::size_t t = 1; t <= options.iterations && !target_reached; ++t) {
+    // The shared skip coin: one draw per iteration, device coordinate 0 of
+    // the kComm stream (per-device comm streams use coordinates >= 1).
+    util::Rng coin_rng = util::fork(options.seed, 0, t, util::stream::kComm);
+    const bool communicate = coin_rng.uniform() < p;
+
+    for (std::size_t n = 0; n < num_devices; ++n) {
+      events[n] = options.faults.sample(options.seed, n, t);
+    }
+    std::fill(realized_uplink.begin(), realized_uplink.end(), 0);
+
+    // Local step (Alg. line "x̂ = x − γ(g − h)") on every live device.
+    for_each_device([&](std::size_t n) {
+      if (events[n].dropped) return;  // crashed: x_n, h_n stay put
+      const data::Dataset& ds = fed.train[n];
+      const std::size_t batch = std::min(options.batch_size, ds.size());
+      util::Rng rng = util::fork(options.seed, n + 1, t,
+                                 util::stream::kSampling);
+      std::vector<std::size_t> idx(batch);
+      for (auto& i : idx) i = rng.below(ds.size());
+
+      // SVRG estimator: ∇f_B(x_n) − ∇f_B(anchor) + ∇F_n(anchor), with the
+      // same minibatch at both points (eq. 8b).
+      std::vector<double> g(dim), g_anchor(dim);
+      model->loss_and_gradient(x[n], ds, idx, g);
+      model->loss_and_gradient(anchor, ds, idx, g_anchor);
+      grad_evals[n] += 2 * batch;
+      // v = g − g_anchor + anchor_grad; x̂ = x − γ(v − h), written in place.
+      std::span<double> xn(x[n]);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double v = g[i] - g_anchor[i] + anchor_grad[n][i];
+        xn[i] -= gamma * (v - h[n][i]);
+      }
+
+      if (communicate && !events[n].uplink_failed) {
+        // Proposal y_n = x̂_n − (γ/p) h_n, uploaded as a delta against the
+        // shared anchor so sparsification/quantization compress the small
+        // innovation, not the full model.
+        std::span<double> up(uploads[n]);
+        for (std::size_t i = 0; i < dim; ++i) {
+          up[i] = xn[i] - gamma_over_p * h[n][i] - anchor[i];
+        }
+        util::Rng comm_rng =
+            util::fork(options.seed, n + 1, t, util::stream::kComm);
+        realized_uplink[n] = channel.uplink(n, up, comm_rng);
+      }
+    });
+
+    // ---- Serial accounting & (on heads) the consensus prox step. ----
+    double realized_round_time = 0.0;
+    for (std::size_t n = 0; n < num_devices; ++n) {
+      const fl::FaultEvent& e = events[n];
+      if (e.dropped) {
+        ++total_dropped;
+        continue;  // a crash is detected immediately: no time charged
+      }
+      if (e.straggler) ++total_stragglers;
+      double t_n = timing.d_cmp * e.slowdown;  // tau = 1 local step
+      if (communicate) {
+        total_uplink_retries += e.uplink_retries;
+        if (e.uplink_failed) ++total_dropped;
+        t_n += timing.d_com * e.com_multiplier(backoff);
+      }
+      realized_round_time = std::max(realized_round_time, t_n);
+    }
+    model_time += realized_round_time;
+
+    if (communicate) {
+      // Byte accounting: every non-crashed device transmits (lost attempts
+      // included, at the a-priori wire size); the broadcast reaches the
+      // whole fleet.
+      for (std::size_t n = 0; n < num_devices; ++n) {
+        if (events[n].dropped) continue;
+        const std::size_t per_attempt = realized_uplink[n] > 0
+                                            ? realized_uplink[n]
+                                            : channel.uplink_wire_bytes();
+        total_uplink_bytes += events[n].uplink_attempts() * per_attempt;
+      }
+
+      std::vector<std::size_t> survivors;
+      double weight_sum = 0.0;
+      for (std::size_t n = 0; n < num_devices; ++n) {
+        if (!events[n].delivers_update()) continue;
+        survivors.push_back(n);
+        weight_sum += fed.weight(n);
+      }
+      if (!survivors.empty()) {
+        total_downlink_bytes += num_devices * channel.downlink_wire_bytes();
+        // x_{t+1} = anchor + Σ survivors (w_n / Σw) (decoded delta_n),
+        // ascending device order (determinism contract).
+        tensor::copy(anchor, x_next);
+        for (const std::size_t n : survivors) {
+          tensor::axpy(fed.weight(n) / weight_sum, uploads[n], x_next);
+        }
+        // Reliable downlink: every device adopts the consensus and updates
+        // its control variate against its own x̂ (a crashed device's x̂ is
+        // its unchanged x_n).
+        for_each_device([&](std::size_t n) {
+          std::span<double> hn(h[n]);
+          std::span<const double> xn(x[n]);
+          for (std::size_t i = 0; i < dim; ++i) {
+            hn[i] += p_over_gamma * (x_next[i] - xn[i]);
+          }
+          tensor::copy(x_next, x[n]);
+        });
+        tensor::copy(x_next, anchor);
+        // Refresh the SVRG anchor gradients at the new consensus.
+        for_each_device(refresh_anchor_gradients);
+      }
+      // Zero survivors: the round degrades to a skip round — no broadcast,
+      // no h update; the uplink attempts above are still charged.
+    }
+
+    const bool last = t == options.iterations;
+    if (t % options.eval_every == 0 || last) {
+      record(t, realized_round_time);
+      if (options.target_accuracy.has_value() &&
+          trace.rounds.back().test_accuracy >= *options.target_accuracy) {
+        target_reached = true;
+      }
+    }
+  }
+
+  virtual_average();
+  trace.final_parameters = xbar;
+  trace.final_param_hash = check::hash_span(trace.final_parameters);
+  return trace;
+}
+
+}  // namespace fedvr::core

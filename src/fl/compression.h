@@ -1,65 +1,16 @@
-// Uplink compression for device -> server model updates.
-//
-// The paper buys communication efficiency with more local computation
-// (large tau); sparsifying the uplink is the orthogonal, widely-used lever
-// (Konecny et al., "Federated Learning: Strategies for Improving
-// Communication Efficiency" — the paper's ref. [13]). A compressor acts on
-// the update *delta* w_n - w̄^(s-1): the server reconstructs
-// w̄^(s-1) + C(delta), so compression error never touches the anchor.
+// DEPRECATED forwarding header: compression moved into the comm subsystem
+// (src/comm/compression.h) when the wire format landed — compressors are a
+// stage of the comm::Channel uplink pipeline, not a trainer bolt-on.
+// Include "comm/compression.h" (or "comm/channel.h") in new code; the
+// aliases below keep existing call sites compiling.
 #pragma once
 
-#include <memory>
-#include <span>
-#include <string>
-
-#include "util/rng.h"
+#include "comm/compression.h"
 
 namespace fedvr::fl {
 
-class Compressor {
- public:
-  virtual ~Compressor() = default;
-
-  /// Sparsifies/quantizes `delta` in place. `rng` drives any randomization
-  /// (deterministic per (device, round) via the caller's stream fork).
-  virtual void compress(std::span<double> delta, util::Rng& rng) const = 0;
-
-  /// Bytes on the wire for one compressed vector of length `dim`
-  /// (values + indices for sparse formats).
-  [[nodiscard]] virtual std::size_t wire_bytes(std::size_t dim) const = 0;
-
-  [[nodiscard]] virtual std::string name() const = 0;
-};
-
-/// Keeps the `fraction` largest-magnitude coordinates, zeroing the rest.
-/// Biased but low-distortion; the FL deployment default.
-class TopKCompressor final : public Compressor {
- public:
-  explicit TopKCompressor(double fraction);
-  void compress(std::span<double> delta, util::Rng& rng) const override;
-  [[nodiscard]] std::size_t wire_bytes(std::size_t dim) const override;
-  [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::size_t kept(std::size_t dim) const;
-
- private:
-  double fraction_;
-};
-
-/// Keeps k = max(1, llround(fraction * dim)) uniformly random coordinates,
-/// rescaled by dim/k so the compressed delta is unbiased: E[C(x)] = x.
-/// The rescale must use the *realized* keep-rate k/dim — for small or
-/// awkward dims k/dim != fraction, and scaling by 1/fraction would bias
-/// the estimator.
-class RandKCompressor final : public Compressor {
- public:
-  explicit RandKCompressor(double fraction);
-  void compress(std::span<double> delta, util::Rng& rng) const override;
-  [[nodiscard]] std::size_t wire_bytes(std::size_t dim) const override;
-  [[nodiscard]] std::string name() const override;
-  [[nodiscard]] std::size_t kept(std::size_t dim) const;
-
- private:
-  double fraction_;
-};
+using Compressor = comm::Compressor;
+using TopKCompressor = comm::TopKCompressor;
+using RandKCompressor = comm::RandKCompressor;
 
 }  // namespace fedvr::fl

@@ -77,7 +77,8 @@ void TrainingTrace::write_csv(const std::string& path) const {
                        "uplink_retries", "deadline_misses",
                        "realized_round_time", "t_broadcast", "t_local_solve",
                        "t_aggregate", "t_eval", "corrupted_updates",
-                       "rejected_updates", "quarantined_devices"});
+                       "rejected_updates", "quarantined_devices",
+                       "uplink_bytes", "downlink_bytes"});
   for (const auto& r : rounds) {
     // Measured phase columns are -1 when the run was not profiled, matching
     // the grad_norm_sq "not evaluated" convention.
@@ -107,6 +108,8 @@ void TrainingTrace::write_csv(const std::string& path) const {
         .add(r.corrupted_updates)
         .add(r.rejected_updates)
         .add(r.quarantined_devices)
+        .add(r.uplink_bytes)
+        .add(r.downlink_bytes)
         .commit();
   }
 }

@@ -44,8 +44,14 @@ struct RoundMetrics {
   double wall_seconds = 0.0;      // cumulative wall-clock
   double mean_local_theta = -1.0; // measured θ across devices (diagnostics)
 
-  // Cost accounting (cumulative since round 1):
-  std::size_t comm_bytes = 0;        // bytes moved device<->server
+  // Cost accounting (cumulative since round 1). Bytes are measured from
+  // serialized comm::Message sizes (header + index section + payload), not
+  // analytic estimates: uplink counts every transmission that crossed the
+  // wire (retries and lost attempts included), downlink counts one dense
+  // model broadcast per scheduled participant.
+  std::size_t comm_bytes = 0;        // uplink_bytes + downlink_bytes
+  std::size_t uplink_bytes = 0;      // device -> server
+  std::size_t downlink_bytes = 0;    // server -> device
   std::size_t sample_grad_evals = 0; // per-sample gradient evaluations
 
   // Fault accounting (cumulative since round 1; all zero when the run's

@@ -63,6 +63,15 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
                         << *options_.devices_per_round);
   }
   options_.defense.validate();
+  // Adopt the deprecated pre-comm-seam compressor knob into the channel;
+  // configuring both is ambiguous and rejected.
+  if (options_.uplink_compressor) {
+    FEDVR_CHECK_MSG(options_.comm.compressor == nullptr,
+                    "set either TrainerOptions::comm.compressor or the "
+                    "deprecated uplink_compressor, not both");
+    options_.comm.compressor = options_.uplink_compressor;
+  }
+  options_.comm.validate();
   FEDVR_CHECK_MSG(options_.per_device_timing.empty() ||
                       options_.per_device_timing.size() == fed_.num_devices(),
                   "per_device_timing needs one entry per device");
@@ -218,8 +227,21 @@ TrainingTrace Trainer::run_impl(
   std::vector<std::vector<double>> locals(num_devices);
   std::vector<double> thetas(num_devices, -1.0);
   std::vector<std::size_t> grad_evals(num_devices, 0);
-  std::size_t total_comm_bytes = 0;
+  std::size_t total_uplink_bytes = 0;
+  std::size_t total_downlink_bytes = 0;
   std::size_t total_grad_evals = 0;
+
+  // The device<->server link (src/comm): every uplink flows through the
+  // channel — error feedback, compression, serialization — and all byte
+  // accounting is measured from serialized comm::Message sizes. Per-run
+  // state (error-feedback residuals) lives here, not in options.
+  comm::Channel channel(options_.comm, num_devices, dim);
+  const bool channel_transforms = options_.comm.transforms_uplink();
+  const bool byte_timing = options_.comm.byte_timing;
+  // Realized uplink message size per device this round (0 = not uplinked
+  // through the channel; charged at the a-priori size instead). Written
+  // only from each device's own solve slot, so the parallel path is safe.
+  std::vector<std::size_t> realized_uplink(num_devices, 0);
 
   // Cumulative fault accounting (all stay zero on the no-fault path).
   const bool faults_on = options_.faults.enabled();
@@ -255,6 +277,9 @@ TrainingTrace Trainer::run_impl(
 
   for (std::size_t s = 1; s <= options_.rounds; ++s) {
     profiler.begin_round(s, num_devices);
+    if (channel_transforms) {
+      std::fill(realized_uplink.begin(), realized_uplink.end(), 0);
+    }
     bool target_reached = false;
     {
       OBS_SPAN("round");
@@ -328,9 +353,16 @@ TrainingTrace Trainer::run_impl(
             OBS_SPAN("round.fault.uplink_retry");
             FEDVR_OBS_COUNT("fl.faults.uplink_retries", event.uplink_retries);
           }
-          const TimingModel& timing = options_.per_device_timing.empty()
-                                          ? options_.timing
-                                          : options_.per_device_timing[device];
+          TimingModel timing = options_.per_device_timing.empty()
+                                   ? options_.timing
+                                   : options_.per_device_timing[device];
+          if (byte_timing) {
+            // d_com from actual serialized bytes: the link model splits the
+            // analytic d_com into latency + bandwidth calibrated so a dense
+            // float64 exchange still costs exactly d_com; compressed or
+            // quantized messages cost proportionally less.
+            timing.d_com = channel.link_round_time(timing);
+          }
           const double device_time =
               faults_on ? timing.round_time(
                               timing_tau, event.slowdown,
@@ -396,13 +428,16 @@ TrainingTrace Trainer::run_impl(
         auto result =
             solver_for(device).solve(fed_.train[device], w_global, rng);
         locals[device] = std::move(result.w);
-        if (options_.uplink_compressor) {
-          // Compress the update delta; the server reconstructs anchor+delta.
+        if (channel_transforms) {
+          // Uplink the update delta through the comm seam (error feedback,
+          // compression, wire encode/decode); the server reconstructs
+          // anchor + decoded delta. Compressor calls outside comm::Channel
+          // are a lint error (compression-in-seam).
           std::vector<double> delta(dim);
           tensor::sub(locals[device], w_global, delta);
-          util::Rng comp_rng = util::fork(options_.seed, device + 1, s,
-                                          util::stream::kSelection + 10);
-          options_.uplink_compressor->compress(delta, comp_rng);
+          util::Rng comm_rng =
+              util::fork(options_.seed, device + 1, s, util::stream::kComm);
+          realized_uplink[device] = channel.uplink(device, delta, comm_rng);
           tensor::copy(w_global, locals[device]);
           tensor::axpy(1.0, delta, locals[device]);
         }
@@ -524,18 +559,22 @@ TrainingTrace Trainer::run_impl(
         // deadline), computed in the pre-pass above.
         model_time += realized_round_time;
 
-        // One dense broadcast down per participant, plus one (possibly
-        // compressed) model up per uplink transmission actually sent —
-        // lost attempts and late arrivals still crossed the wire.
-        const std::size_t up_bytes =
-            options_.uplink_compressor
-                ? options_.uplink_compressor->wire_bytes(dim)
-                : dim * sizeof(double);
-        total_comm_bytes += participants.size() * dim * sizeof(double);
+        // Wire accounting from serialized message sizes: one dense model
+        // broadcast down per scheduled participant, plus one (possibly
+        // compressed) update message up per uplink transmission actually
+        // sent — lost attempts and late arrivals still crossed the wire.
+        // Devices that uplinked through the channel are charged their
+        // realized message size; transmissions whose payload was never
+        // materialized (lost attempts, crashed-out retries, stale replays)
+        // are charged the a-priori size.
+        const std::size_t up_bytes_apriori = channel.uplink_wire_bytes();
+        total_downlink_bytes +=
+            participants.size() * channel.downlink_wire_bytes();
         for (std::size_t k = 0; k < participants.size(); ++k) {
-          if (!events[k].dropped) {
-            total_comm_bytes += events[k].uplink_attempts() * up_bytes;
-          }
+          if (events[k].dropped) continue;
+          const std::size_t realized = realized_uplink[participants[k]];
+          total_uplink_bytes += events[k].uplink_attempts() *
+                                (realized > 0 ? realized : up_bytes_apriori);
         }
         for (std::size_t k : survivors) {
           total_grad_evals += grad_evals[participants[k]];
@@ -556,7 +595,9 @@ TrainingTrace Trainer::run_impl(
         }
         m.model_time = model_time;
         m.wall_seconds = wall.seconds();
-        m.comm_bytes = total_comm_bytes;
+        m.uplink_bytes = total_uplink_bytes;
+        m.downlink_bytes = total_downlink_bytes;
+        m.comm_bytes = total_uplink_bytes + total_downlink_bytes;
         m.sample_grad_evals = total_grad_evals;
         m.dropped_devices = total_dropped;
         m.straggler_devices = total_stragglers;

@@ -17,6 +17,7 @@
 #include <optional>
 #include <span>
 
+#include "comm/channel.h"
 #include "data/dataset.h"
 #include "fl/aggregation.h"
 #include "fl/compression.h"
@@ -57,10 +58,17 @@ struct TrainerOptions {
   std::optional<std::size_t> devices_per_round;
   /// Stop early once pooled-test accuracy reaches this value (if set).
   std::optional<double> target_accuracy;
-  /// Optional uplink compressor applied to each device's update delta
-  /// (w_n - w̄^(s-1)) before aggregation; comm accounting uses its wire
-  /// format for the uplink.
-  std::shared_ptr<const Compressor> uplink_compressor;
+  /// The device<->server link (src/comm): uplink compression with optional
+  /// error feedback, wire dtypes (float64/float32/int8), and byte-derived
+  /// link timing. Every update crosses this seam; with default options the
+  /// channel is pure accounting and the arithmetic is bit-identical to the
+  /// pre-comm engine.
+  comm::ChannelOptions comm;
+  /// DEPRECATED: pre-comm-seam compressor knob. When set (and comm has no
+  /// compressor of its own) it is adopted as comm.compressor at
+  /// construction; setting both is a configuration error. Prefer
+  /// options.comm.compressor in new code.
+  std::shared_ptr<const comm::Compressor> uplink_compressor;
   /// Optional per-device timing models (heterogeneous hardware): when
   /// non-empty (one per device), a synchronous round costs the *maximum*
   /// participant time instead of options.timing.

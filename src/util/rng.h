@@ -138,6 +138,10 @@ inline constexpr std::uint64_t kSampling = 3;   // minibatch sampling
 inline constexpr std::uint64_t kSelection = 4;  // iterate/client selection
 inline constexpr std::uint64_t kSearch = 5;     // hyperparameter search
 inline constexpr std::uint64_t kFaults = 6;     // fault-event injection
+inline constexpr std::uint64_t kComm = 7;       // comm: compressor draws
+                                                // (device+1 coord) and
+                                                // ProxSkip skip coins
+                                                // (device coord 0)
 }  // namespace stream
 
 }  // namespace fedvr::util

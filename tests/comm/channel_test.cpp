@@ -1,0 +1,154 @@
+// The channel seam: uplink = EF-compensate -> compress -> encode -> decode,
+// plus the byte-derived LinkModel split of the analytic d_com.
+#include "comm/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fedvr::comm {
+namespace {
+
+using fedvr::util::Error;
+
+std::vector<double> ramp(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(i + 1) * (i % 2 == 0 ? 1.0 : -1.0);
+  }
+  return v;
+}
+
+TEST(ChannelOptions, ValidatesLatencyFraction) {
+  ChannelOptions bad;
+  bad.byte_timing = true;
+  bad.latency_fraction = 1.5;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(ChannelOptions, LabelNamesThePipeline) {
+  ChannelOptions plain;
+  EXPECT_EQ(plain.label(), "dense/f64");
+  ChannelOptions lossy;
+  lossy.compressor = std::make_shared<TopKCompressor>(0.25);
+  lossy.error_feedback = true;
+  lossy.uplink_dtype = DType::kInt8Block;
+  EXPECT_EQ(lossy.label(), "top-k(0.25)+ef/q8");
+}
+
+TEST(Channel, PassthroughChannelDoesNotTouchValues) {
+  const std::size_t dim = 16;
+  Channel ch(ChannelOptions{}, 2, dim);
+  std::vector<double> delta = ramp(dim);
+  const std::vector<double> original = delta;
+  util::Rng rng(1);
+  const std::size_t bytes = ch.uplink(0, delta, rng);
+  EXPECT_EQ(delta, original);  // bit-identical: pure accounting
+  EXPECT_EQ(bytes, ch.uplink_wire_bytes());
+  EXPECT_EQ(bytes, kHeaderBytes + dim * sizeof(double));
+  EXPECT_EQ(ch.downlink_wire_bytes(), kHeaderBytes + dim * sizeof(double));
+}
+
+TEST(Channel, TopKUplinkReconstructionKeepsLargestAndTracksResidual) {
+  const std::size_t dim = 8;
+  ChannelOptions opts;
+  opts.compressor = std::make_shared<TopKCompressor>(0.25);  // keep 2 of 8
+  opts.error_feedback = true;
+  Channel ch(opts, 1, dim);
+  std::vector<double> delta = ramp(dim);  // largest |.|: coords 7, 6
+  const std::vector<double> original = delta;
+  util::Rng rng(1);
+  const std::size_t bytes = ch.uplink(0, delta, rng);
+  // Reconstruction: the two largest-magnitude coordinates, zeros elsewhere.
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(delta[i], i >= 6 ? original[i] : 0.0) << i;
+  }
+  // Sparse f64 message: header + 2 indices + 2 values.
+  EXPECT_EQ(bytes, kHeaderBytes + 2 * 4 + 2 * 8);
+  EXPECT_EQ(bytes, ch.uplink_wire_bytes());
+  // The residual holds exactly what compression dropped.
+  const auto e = ch.error_feedback().residual(0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(e[i], original[i] - delta[i]) << i;
+  }
+}
+
+TEST(Channel, ErrorFeedbackReinjectsResidualNextRound) {
+  const std::size_t dim = 4;
+  ChannelOptions opts;
+  opts.compressor = std::make_shared<TopKCompressor>(0.25);  // keep 1 of 4
+  opts.error_feedback = true;
+  Channel ch(opts, 1, dim);
+  util::Rng rng(1);
+  std::vector<double> r1{4.0, 1.0, 1.0, 1.0};
+  (void)ch.uplink(0, r1, rng);  // sends coord 0; e = {0,1,1,1}
+  // Next round the compensated delta is {0+0, 1+3, 1+1, 1+1}: coordinate 1
+  // now dominates and gets through — mass is deferred, never lost.
+  std::vector<double> r2{0.0, 3.0, 1.0, 1.0};
+  (void)ch.uplink(0, r2, rng);
+  EXPECT_EQ(r2, (std::vector<double>{0.0, 4.0, 0.0, 0.0}));
+  const auto e = ch.error_feedback().residual(0);
+  EXPECT_EQ(std::vector<double>(e.begin(), e.end()),
+            (std::vector<double>{0.0, 0.0, 2.0, 2.0}));
+}
+
+TEST(Channel, QuantizedUplinkBoundsError) {
+  const std::size_t dim = 64;
+  ChannelOptions opts;
+  opts.uplink_dtype = DType::kInt8Block;
+  Channel ch(opts, 1, dim);
+  std::vector<double> delta = ramp(dim);
+  const std::vector<double> original = delta;
+  util::Rng rng(1);
+  const std::size_t bytes = ch.uplink(0, delta, rng);
+  EXPECT_LT(bytes, kHeaderBytes + dim * sizeof(double));  // actually smaller
+  double amax = 0.0;
+  for (const double v : original) amax = std::max(amax, std::abs(v));
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(delta[i], original[i], amax / 254.0 + amax * 1e-6);
+  }
+}
+
+TEST(LinkModel, DeriveCalibratesReferenceExchangeToDcom) {
+  const fl::TimingModel timing{.d_com = 2.0, .d_cmp = 0.1};
+  const std::size_t ref_bytes = 1000;
+  const LinkModel link = LinkModel::derive(timing, ref_bytes, 0.25);
+  EXPECT_NEAR(link.transfer_time(ref_bytes), 2.0, 1e-12);
+  EXPECT_NEAR(link.latency, 0.5, 1e-12);
+  // Half the bytes: latency floor + half the bandwidth term.
+  EXPECT_NEAR(link.transfer_time(ref_bytes / 2), 0.5 + 0.75, 1e-12);
+}
+
+TEST(Channel, ByteTimingChargesDcomForDenseAndLessWhenCompressed) {
+  const std::size_t dim = 1000;
+  const fl::TimingModel timing{.d_com = 1.0, .d_cmp = 0.1};
+  ChannelOptions dense;
+  dense.byte_timing = true;
+  Channel dense_ch(dense, 1, dim);
+  // The dense f64 down+up exchange is the calibration reference: exactly
+  // d_com.
+  EXPECT_NEAR(dense_ch.link_round_time(timing), 1.0, 1e-12);
+
+  ChannelOptions lossy = dense;
+  lossy.compressor = std::make_shared<TopKCompressor>(0.1);
+  lossy.uplink_dtype = DType::kInt8Block;
+  Channel lossy_ch(lossy, 1, dim);
+  const double t = lossy_ch.link_round_time(timing);
+  EXPECT_LT(t, 1.0);                              // cheaper than dense
+  EXPECT_GT(t, lossy.latency_fraction * 1.0 / 2); // latency floor remains
+}
+
+TEST(Channel, ValidatesDeltaSize) {
+  Channel ch(ChannelOptions{}, 1, 8);
+  std::vector<double> wrong(4, 1.0);
+  util::Rng rng(1);
+  EXPECT_THROW((void)ch.uplink(0, wrong, rng), Error);
+}
+
+}  // namespace
+}  // namespace fedvr::comm

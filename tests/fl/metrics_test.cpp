@@ -120,6 +120,8 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   t.rounds[1].corrupted_updates = 3;
   t.rounds[1].rejected_updates = 2;
   t.rounds[1].quarantined_devices = 1;
+  t.rounds[1].uplink_bytes = 5;
+  t.rounds[1].downlink_bytes = 4;
   const auto dir = testing::make_temp_dir("fedvr_metrics_test");
   const std::string path = (dir / "trace.csv").string();
   t.write_csv(path);
@@ -137,12 +139,13 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
             "sample_grad_evals,param_hash,dropped_devices,straggler_devices,"
             "uplink_retries,deadline_misses,realized_round_time,"
             "t_broadcast,t_local_solve,t_aggregate,t_eval,"
-            "corrupted_updates,rejected_updates,quarantined_devices");
+            "corrupted_updates,rejected_updates,quarantined_devices,"
+            "uplink_bytes,downlink_bytes");
   EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
   EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
-  // The defense counters land in the last three columns of each row.
-  EXPECT_EQ(row1.substr(row1.size() - 6), ",0,0,0");
-  EXPECT_EQ(row2.substr(row2.size() - 6), ",3,2,1");
+  // Defense counters + split byte counters land in the last five columns.
+  EXPECT_EQ(row1.substr(row1.size() - 10), ",0,0,0,0,0");
+  EXPECT_EQ(row2.substr(row2.size() - 10), ",3,2,1,5,4");
   std::filesystem::remove_all(dir);
 }
 

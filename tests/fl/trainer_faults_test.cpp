@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/message.h"
 #include "fl/trainer.h"
 #include "testing/quadratic_model.h"
 #include "util/thread_pool.h"
@@ -246,11 +247,15 @@ TEST(TrainerFaults, ExhaustedUplinkFreezesModelAndChargesRetries) {
   // Each device holds the barrier for d_com * (1 + 2 + 4) + d_cmp * tau.
   const double per_round = 1.0 * 7.0 + 0.1 * static_cast<double>(tau);
   EXPECT_NEAR(trace.back().model_time, 3.0 * per_round, 1e-12);
-  // Wire accounting: one dense downlink per participant plus THREE uplink
-  // attempts per device per round (first try + two retries), all lost.
-  const std::size_t down = kDim * sizeof(double);
-  const std::size_t per_round_bytes = fed.num_devices() * (down + 3u * down);
-  EXPECT_EQ(trace.back().comm_bytes, 3u * per_round_bytes);
+  // Wire accounting: one dense downlink message per participant plus THREE
+  // uplink attempts per device per round (first try + two retries), all
+  // lost — each attempt at the serialized dense-f64 message size.
+  const std::size_t msg =
+      comm::wire_bytes(comm::DType::kFloat64, kDim, kDim, /*sparse=*/false);
+  EXPECT_EQ(trace.back().downlink_bytes, 3u * fed.num_devices() * msg);
+  EXPECT_EQ(trace.back().uplink_bytes, 3u * fed.num_devices() * 3u * msg);
+  EXPECT_EQ(trace.back().comm_bytes,
+            trace.back().uplink_bytes + trace.back().downlink_bytes);
 }
 
 TEST(TrainerFaults, DeadlineDegradesSlowDevicesOutOfAggregation) {

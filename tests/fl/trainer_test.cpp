@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "check/check.h"
+#include "comm/message.h"
 #include "tensor/vecops.h"
 #include "testing/quadratic_model.h"
 #include "util/error.h"
@@ -355,11 +356,17 @@ TEST(Trainer, CommBytesAccountingMatchesFormula) {
   opts.rounds = 5;
   const Trainer trainer(model, fed, opts);
   const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t");
-  // rounds x devices x 2 directions x dim x 8 bytes, cumulative.
+  // rounds x devices x 2 directions x the serialized dense-f64 message
+  // size (comm::Message header + payload), cumulative — and the split
+  // counters are symmetric: one downlink broadcast per uplink update.
+  const std::size_t msg =
+      comm::wire_bytes(comm::DType::kFloat64, kDim, kDim, /*sparse=*/false);
   for (std::size_t i = 0; i < trace.rounds.size(); ++i) {
     const std::size_t rounds_done = trace.rounds[i].round;
+    EXPECT_EQ(trace.rounds[i].uplink_bytes, rounds_done * 2u * msg);
+    EXPECT_EQ(trace.rounds[i].downlink_bytes, rounds_done * 2u * msg);
     EXPECT_EQ(trace.rounds[i].comm_bytes,
-              rounds_done * 2u * 2u * kDim * sizeof(double));
+              trace.rounds[i].uplink_bytes + trace.rounds[i].downlink_bytes);
   }
 }
 

@@ -47,6 +47,11 @@ def summarize(raw: dict) -> dict:
         if "items_per_second" in b:
             # items == FLOPs for the GEMM benchmarks, so this is FLOP/s.
             row["items_per_second"] = round(b["items_per_second"], 1)
+        if "bytes_per_second" in b:
+            # Serialization benchmarks report input throughput in bytes/s.
+            row["bytes_per_second"] = round(b["bytes_per_second"], 1)
+        if b.get("label"):
+            row["label"] = b["label"]
         rows.append(row)
     rows.sort(key=lambda r: r["name"])
     return {

@@ -34,6 +34,13 @@ Rules, each tied to a repo invariant:
                     the Byzantine defenses (rejection, quarantine, robust
                     rules) cannot be bypassed by a hand-rolled average.
 
+  compression-in-seam
+                    Compressor::compress() calls outside src/comm/: uplink
+                    compression must flow through comm::Channel, which owns
+                    the error-feedback recursion and measures wire bytes
+                    from serialized messages. A raw compress() call silently
+                    drops both (the convergence fix AND the accounting).
+
 False positives are silenced with `// lint:allow(<rule>) <why>` on the
 offending line or the line directly above it — the justification is
 mandatory and shows up in review.
@@ -94,6 +101,14 @@ RULES = [
         "line-12 weighted averaging belongs behind the fl::Aggregator seam "
         "(src/fl/aggregation.*); hand-rolled averages bypass the server's "
         "Byzantine defenses",
+    ),
+    (
+        "compression-in-seam",
+        re.compile(r"(\.|->)\s*compress\s*\("),
+        lambda p: (SRC / "comm") not in p.parents and p.parent != SRC / "comm",
+        "uplink compression belongs behind the comm::Channel seam "
+        "(src/comm/channel.*): a raw Compressor::compress() call skips "
+        "error feedback and the measured wire-byte accounting",
     ),
 ]
 
