@@ -222,12 +222,15 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
       }
 
       std::vector<std::size_t> survivors;
-      double weight_sum = 0.0;
+      std::vector<double> survivor_weights;
       for (std::size_t n = 0; n < num_devices; ++n) {
         if (!events[n].delivers_update()) continue;
         survivors.push_back(n);
-        weight_sum += fed.weight(n);
+        survivor_weights.push_back(fed.weight(n));
       }
+      // Ascending device order, reduced through the sanctioned helper —
+      // bit-identical to the historical inline accumulation.
+      const double weight_sum = tensor::sum(survivor_weights);
       if (!survivors.empty()) {
         total_downlink_bytes += num_devices * channel.downlink_wire_bytes();
         // x_{t+1} = anchor + Σ survivors (w_n / Σw) (decoded delta_n),

@@ -99,14 +99,15 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
 double Trainer::global_loss(std::span<const double> w) const {
   const std::size_t num_devices = fed_.num_devices();
   std::vector<double> per_device(num_devices, 0.0);
+  std::vector<double> weights(num_devices, 0.0);
   util::ThreadPool::global().parallel_for(0, num_devices, [&](std::size_t n) {
     per_device[n] = model_->full_loss(w, fed_.train[n]);
+    weights[n] = fed_.weight(n);
   });
-  double loss = 0.0;
-  for (std::size_t n = 0; n < num_devices; ++n) {
-    loss += fed_.weight(n) * per_device[n];
-  }
-  return loss;
+  // Σ_n p_n F_n via the sanctioned serial ascending reduction — same
+  // accumulation order as the historical inline loop, so traces stay
+  // hash-identical.
+  return tensor::weighted_sum(weights, per_device);
 }
 
 double Trainer::global_grad_norm_sq(std::span<const double> w) const {
@@ -625,6 +626,9 @@ TrainingTrace Trainer::run_impl(
           for (std::size_t k : survivors) {
             const std::size_t device = participants[k];
             if (thetas[device] >= 0.0) {
+              // Predicate-filtered diagnostic mean, ascending survivor
+              // order; trace-only, never fed back into the model.
+              // lint:allow(fp-reduction-in-seam) trace-only diagnostic mean
               sum += thetas[device];
               ++count;
             }

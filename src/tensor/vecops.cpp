@@ -90,6 +90,16 @@ void accumulate_weighted(double w, std::span<const double> x,
   axpy(w, x, acc);
 }
 
+double sum(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double weighted_sum(std::span<const double> w, std::span<const double> v) {
+  return dot(w, v);
+}
+
 void prox_quadratic(std::span<const double> x, std::span<const double> anchor,
                     double eta, double mu, std::span<double> out) {
   check_same_size(x, anchor);

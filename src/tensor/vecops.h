@@ -55,6 +55,18 @@ void fill(std::span<double> x, double v);
 void accumulate_weighted(double w, std::span<const double> x,
                          std::span<double> acc);
 
+/// Σ x_i, accumulated serially in ascending index order. The sanctioned
+/// scalar reduction for device/update collections: callers gather the
+/// per-device values and reduce here, so the accumulation order is pinned
+/// in one audited place (see the fp-reduction-in-seam analyzer rule).
+[[nodiscard]] double sum(std::span<const double> x);
+
+/// Σ w_i · v_i, serial ascending: the scalar companion of
+/// accumulate_weighted for weighted means over per-device values
+/// (e.g. the global loss Σ_n p_n F_n).
+[[nodiscard]] double weighted_sum(std::span<const double> w,
+                                  std::span<const double> v);
+
 /// The closed-form proximal operator of h_s(w) = (mu/2)||w - anchor||^2 with
 /// step eta (paper eq. (10)):  prox(x) = (eta / (1 + eta*mu)) * (mu*anchor + x/eta).
 void prox_quadratic(std::span<const double> x, std::span<const double> anchor,

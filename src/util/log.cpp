@@ -53,7 +53,12 @@ std::optional<LogLevel> parse_log_level(std::string_view text) {
 
 namespace detail {
 void write_log_line(LogLevel level, const std::string& message) {
+  // Log-line timestamps are presentation only: they never feed algorithm
+  // state, traces hash parameters (not log text), so ambient time is safe
+  // here and nowhere else outside obs/.
+  // lint:allow(no-wallclock-outside-obs) presentation-only log timestamp
   const auto now = std::chrono::system_clock::now();
+  // lint:allow(no-wallclock-outside-obs) presentation-only log timestamp
   const std::time_t tt = std::chrono::system_clock::to_time_t(now);
   std::tm tm_buf{};
   localtime_r(&tt, &tm_buf);

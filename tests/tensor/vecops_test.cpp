@@ -79,6 +79,42 @@ TEST(Vecops, CopySubAddFill) {
   for (double v : out) EXPECT_DOUBLE_EQ(v, 7.0);
 }
 
+TEST(Vecops, SumIsSerialAscending) {
+  // sum() is the sanctioned scalar reduction (fp-reduction-in-seam): its
+  // contract is bit-identical equality with the serial ascending loop it
+  // replaced at call sites like proxskip's survivor-weight total.
+  Rng rng(11);
+  std::vector<double> x(257);
+  for (auto& v : x) v = rng.normal() * 1e3;
+  double reference = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) reference += x[i];
+  EXPECT_EQ(sum(x), reference);  // bit-exact, not just EXPECT_DOUBLE_EQ
+}
+
+TEST(Vecops, SumOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(sum({}), 0.0);
+  EXPECT_DOUBLE_EQ(weighted_sum({}, {}), 0.0);
+}
+
+TEST(Vecops, WeightedSumMatchesAscendingLoopBitExact) {
+  // weighted_sum() pins the accumulation order the trainer's global-loss
+  // reduction has always used: acc += w[i] * v[i], ascending i.
+  Rng rng(13);
+  std::vector<double> w(129), v(129);
+  for (auto& e : w) e = rng.uniform();
+  for (auto& e : v) e = rng.normal();
+  double reference = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) reference += w[i] * v[i];
+  EXPECT_EQ(weighted_sum(w, v), reference);
+  EXPECT_EQ(weighted_sum(w, v), dot(w, v));
+}
+
+TEST(Vecops, WeightedSumSizeMismatchThrows) {
+  const std::vector<double> w = {1, 2};
+  const std::vector<double> v = {1};
+  EXPECT_THROW(weighted_sum(w, v), Error);
+}
+
 TEST(Vecops, AccumulateWeightedIsWeightedSum) {
   const std::vector<double> w1 = {1, 1};
   const std::vector<double> w2 = {3, 5};

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analyze (fedvr-analyze).
+
+The fixture tree under tests/tools/fixtures mirrors src/ so the
+analyzer's path-scoped rules apply exactly as they do on the real tree.
+Every line that must produce findings carries a trailing
+`// expect: rule[, rule]` marker; every unmarked line must stay quiet.
+The test runs the analyzer as a subprocess (the same entry point CI and
+developers use) and demands the *exact* (file, line, rule) set — so it
+fails on missed findings, phantom findings, and broken lint:allow
+handling alike.
+
+Usage: analyzer_selftest.py [token|clang]
+Exit: 0 pass, 1 fail, 77 skip (clang frontend requested but no libclang
+— ctest maps 77 to SKIP via SKIP_RETURN_CODE).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+FIXTURES = HERE / "fixtures"
+ANALYZER = REPO / "tools" / "analyze"
+PRELUDE = "src/util/fixture_prelude.h"
+SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+
+
+def expected_findings() -> set[tuple[str, int, str]]:
+    exp: set[tuple[str, int, str]] = set()
+    for f in sorted(FIXTURES.rglob("*")):
+        if not f.is_file() or f.suffix not in SUFFIXES:
+            continue
+        rel = f.relative_to(FIXTURES).as_posix()
+        if rel == PRELUDE:
+            continue
+        for lineno, line in enumerate(
+                f.read_text(encoding="utf-8").splitlines(), 1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    exp.add((rel, lineno, rule))
+    return exp
+
+
+def run_analyzer(frontend: str, json_out: Path,
+                 extra: list[str]) -> subprocess.CompletedProcess:
+    cmd = [sys.executable, str(ANALYZER),
+           "--root", str(FIXTURES),
+           "--paths", "src",
+           "--exclude", PRELUDE,
+           "--frontend", frontend,
+           "--json", str(json_out)] + extra
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    frontend = sys.argv[1] if len(sys.argv) > 1 else "token"
+    if frontend not in ("token", "clang"):
+        print(f"unknown frontend {frontend!r}", file=sys.stderr)
+        return 1
+
+    if frontend == "clang":
+        probe = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; sys.path.insert(0, sys.argv[1]); "
+             "from analyze import clang_frontend; "
+             "sys.exit(0 if clang_frontend.available() else 3)",
+             str(ANALYZER.parent)],
+            capture_output=True)
+        if probe.returncode != 0:
+            print("SKIP: clang.cindex / libclang not available")
+            return 77
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fedvr-analyze-selftest-") as td:
+        tmp = Path(td)
+
+        # 1. Exact findings set over the fixture tree.
+        json_out = tmp / "findings.json"
+        proc = run_analyzer(frontend, json_out,
+                            ["--baseline", str(tmp / "no-baseline.json")])
+        if proc.returncode != 1:
+            failures.append(
+                f"expected exit 1 (findings present), got {proc.returncode}\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+        got: set[tuple[str, int, str]] = set()
+        if json_out.exists():
+            data = json.loads(json_out.read_text(encoding="utf-8"))
+            got = {(x["file"], x["line"], x["rule"])
+                   for x in data["findings"]}
+        else:
+            failures.append("analyzer wrote no JSON output")
+
+        exp = expected_findings()
+        missed = sorted(exp - got)
+        phantom = sorted(got - exp)
+        for file, line, rule in missed:
+            failures.append(f"MISSED   {file}:{line} [{rule}] "
+                            "(expect marker, analyzer silent)")
+        for file, line, rule in phantom:
+            failures.append(f"PHANTOM  {file}:{line} [{rule}] "
+                            "(no expect marker on that line)")
+
+        # 2. Baseline round-trip: write all findings to a baseline, rerun,
+        # tree must report clean with everything attributed to the baseline.
+        baseline = tmp / "baseline.json"
+        wb = run_analyzer(frontend, tmp / "wb.json",
+                          ["--baseline", str(baseline), "--write-baseline"])
+        if wb.returncode != 0:
+            failures.append(f"--write-baseline exited {wb.returncode}: "
+                            f"{wb.stderr}")
+        rerun_json = tmp / "rerun.json"
+        rerun = run_analyzer(frontend, rerun_json,
+                             ["--baseline", str(baseline)])
+        if rerun.returncode != 0:
+            failures.append(
+                f"baselined rerun expected exit 0, got {rerun.returncode}\n"
+                f"stdout:\n{rerun.stdout}")
+        elif rerun_json.exists():
+            rd = json.loads(rerun_json.read_text(encoding="utf-8"))
+            if rd["findings"]:
+                failures.append(f"baselined rerun still reports "
+                                f"{len(rd['findings'])} finding(s)")
+            if rd["baselined"] != len(exp):
+                failures.append(
+                    f"baselined count {rd['baselined']} != expected "
+                    f"finding count {len(exp)}")
+
+        # 3. Rule catalogs: both tools advertise their rules.
+        for tool, needle in ((["tools/analyze"], "rng-fork-discipline"),
+                             (["tools/lint.py"], "no-iostream-in-headers")):
+            lr = subprocess.run(
+                [sys.executable, str(REPO / tool[0]), "--list-rules"],
+                capture_output=True, text=True)
+            if lr.returncode != 0 or needle not in lr.stdout:
+                failures.append(f"{tool[0]} --list-rules broken "
+                                f"(exit {lr.returncode})")
+
+    if failures:
+        print(f"analyzer_selftest [{frontend}]: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"analyzer_selftest [{frontend}]: PASS "
+          f"({len(exp)} expected findings matched exactly)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

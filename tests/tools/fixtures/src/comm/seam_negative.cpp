@@ -1,0 +1,13 @@
+// Fixture: compression inside src/comm/ is the seam itself — a
+// Channel-side compress() call is sanctioned, so this file must stay
+// quiet (no expect markers).
+#include "util/fixture_prelude.h"
+
+namespace fedvr::comm {
+
+std::vector<double> fixture_channel_uplink(Compressor& comp,
+                                           std::span<const double> x) {
+  return comp.compress(x);
+}
+
+}  // namespace fedvr::comm

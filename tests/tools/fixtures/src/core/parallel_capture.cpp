@@ -1,0 +1,105 @@
+// Fixture: parallel-capture-safety — lambdas handed to the thread pool
+// may only write by-ref captures through an index derived from their
+// range parameter (disjoint slices), through std::atomic, or under an
+// explicit lint:allow.
+#include "util/fixture_prelude.h"
+
+namespace fedvr::core {
+
+// Negative: every write lands in out[i] where i is the lambda's own
+// range parameter — disjoint by contract.
+void good_indexed_write(util::ThreadPool& pool, std::vector<double>& out,
+                        const std::vector<double>& vals, std::size_t n) {
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    out[i] = vals[i] * 2.0;
+  });
+}
+
+// Negative: index derives from the range parameters via a body-local
+// loop variable — still disjoint per invocation.
+void good_range_chunk(util::ThreadPool& pool, std::vector<double>& out,
+                      std::size_t n) {
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      out[j] += 1.0;
+    }
+  };
+  pool.parallel_ranges(0, n, body);
+}
+
+// Negative: atomics are race-free by construction (determinism of the
+// *value* is the fp-reduction rule's business, not this one's).
+void good_atomic_count(util::ThreadPool& pool, std::size_t n) {
+  std::atomic<long> counter(0);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    (void)i;
+    counter += 1;
+  });
+}
+
+// Negative: body-local accumulator never escapes the invocation.
+void good_body_local(util::ThreadPool& pool, const std::vector<double>& vals,
+                     std::vector<double>& out, std::size_t n) {
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    double local = vals[i] * 0.5;
+    local += 1.0;
+    out[i] = local;
+  });
+}
+
+// Positive: cross-invocation scalar accumulated under a default by-ref
+// capture — a data race and an ordering hazard in one line.
+void bad_shared_accumulate(util::ThreadPool& pool,
+                           const std::vector<double>& vals, std::size_t n) {
+  double total = 0.0;
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    total += vals[i];  // expect: parallel-capture-safety
+  });
+  (void)total;
+}
+
+// Positive: the explicit-capture spelling of the same bug.
+void bad_explicit_ref_capture(util::ThreadPool& pool,
+                              const std::vector<double>& vals,
+                              std::size_t n) {
+  double total = 0.0;
+  pool.parallel_for(0, n, [&total, &vals](std::size_t i) {
+    total += vals[i];  // expect: parallel-capture-safety
+  });
+  (void)total;
+}
+
+// Positive: unsynchronized flag write from a submitted task.
+void bad_submit_flag(util::ThreadPool& pool) {
+  bool done = false;
+  pool.submit([&] {
+    done = true;  // expect: parallel-capture-safety
+  });
+  (void)done;
+}
+
+// Positive: member write through a captured this (trailing-underscore
+// member convention).
+struct Accumulator {
+  void bad_member_write(util::ThreadPool& pool, std::size_t n) {
+    pool.parallel_for(0, n, [this](std::size_t i) {
+      (void)i;
+      acc_ += 1.0;  // expect: parallel-capture-safety
+    });
+  }
+  double acc_ = 0.0;
+};
+
+// Allowed: the author asserts the reduction is safe (e.g. pool size
+// pinned to 1 on this path) and says why.
+void allowed_shared_write(util::ThreadPool& pool,
+                          const std::vector<double>& vals, std::size_t n) {
+  double total = 0.0;
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    // lint:allow(parallel-capture-safety) fixture: serial pool on this path
+    total += vals[i];
+  });
+  (void)total;
+}
+
+}  // namespace fedvr::core

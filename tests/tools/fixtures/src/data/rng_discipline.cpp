@@ -1,0 +1,49 @@
+// Fixture: rng-fork-discipline — seeds must be pure functions of
+// (seed, device, round, stream tag). `// expect: <rule>` markers name the
+// findings tests/tools/analyzer_selftest.py demands on that exact line;
+// unmarked lines must stay quiet.
+#include "util/fixture_prelude.h"
+
+namespace fedvr::data {
+
+// Negative: the canonical derivations — master seed, device coordinate,
+// round, named stream — stay quiet.
+void good_forks(std::uint64_t seed, std::size_t device, std::size_t round) {
+  util::Rng a = util::fork(seed, device + 1, round, util::stream::kData);
+  util::Rng b(seed);
+  util::Rng c = util::Rng(seed * 2 + device);
+  util::Rng d(seed ^ (round << 8));
+  a.reseed(seed + round);
+  (void)b;
+  (void)c;
+  (void)d;
+}
+
+// Positive: wall time in a seed (also ambient time outside obs/).
+void bad_time_seed() {
+  util::Rng r(std::time(nullptr));  // expect: rng-fork-discipline, no-wallclock-outside-obs
+  (void)r;
+}
+
+// Positive: an object address laundered into a fork coordinate.
+void bad_address_seed(std::uint64_t seed, std::size_t device) {
+  util::Rng r = util::fork(
+      seed, reinterpret_cast<std::uint64_t>(&device), 0,  // expect: rng-fork-discipline
+      util::stream::kInit);
+  (void)r;
+}
+
+// Positive: ambient randomness reseeding a stream mid-run.
+void bad_reseed(util::Rng& rng) {
+  rng.reseed(std::rand());  // expect: rng-fork-discipline, no-std-rand
+}
+
+// Allowed: the escape hatch silences exactly this rule, with a mandatory
+// justification.
+void allowed_address_seed(std::size_t device) {
+  // lint:allow(rng-fork-discipline) fixture: demonstrates the escape hatch
+  util::Rng r(reinterpret_cast<std::uint64_t>(&device));
+  (void)r;
+}
+
+}  // namespace fedvr::data

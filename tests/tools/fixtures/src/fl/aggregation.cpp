@@ -1,0 +1,21 @@
+// Fixture: src/fl/aggregation.* is the sanctioned reduction seam — fp
+// accumulation and accumulate_weighted() are *expected* here, so this
+// whole file must stay quiet (no expect markers).
+#include "util/fixture_prelude.h"
+
+namespace fedvr::fl {
+
+double fixture_seam_reduce(const std::vector<double>& updates) {
+  double total = 0.0;
+  for (double u : updates) {
+    total += u;
+  }
+  return total;
+}
+
+void fixture_seam_accumulate(std::span<const double> x,
+                             std::span<double> acc) {
+  tensor::accumulate_weighted(0.25, x, acc);
+}
+
+}  // namespace fedvr::fl

@@ -1,0 +1,67 @@
+// Fixture: fp-reduction-in-seam — floating-point accumulation over a
+// device/update collection is order-sensitive, so it lives behind
+// fl::Aggregator / tensor::vecops where the order is pinned. Everything
+// else in fl/core/comm must call the helpers.
+#include "util/fixture_prelude.h"
+
+namespace fedvr::fl {
+
+// Positive: hand-rolled range-for reduction over a collection.
+double bad_range_reduce(const std::vector<double>& updates) {
+  double total = 0.0;
+  for (double u : updates) {
+    total += u;  // expect: fp-reduction-in-seam
+  }
+  return total;
+}
+
+// Positive: indexed reduction — the RHS walks the collection by the
+// loop variable.
+double bad_indexed_reduce(std::span<const double> w,
+                          std::span<const double> x) {
+  double acc = 0.0;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    acc += w[n] * x[n];  // expect: fp-reduction-in-seam
+  }
+  return acc;
+}
+
+// Negative: element-wise writes land in disjoint slots — no cross-item
+// accumulation order to pin.
+void good_elementwise(std::span<double> acc, std::span<const double> x) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc[i] += x[i];
+  }
+}
+
+// Negative: per-iteration local never crosses iterations.
+void good_loop_local(const std::vector<double>& bases,
+                     std::vector<double>& out, double overhead) {
+  for (double base : bases) {
+    double t = base;
+    t += overhead;
+    out.push_back(t);
+  }
+}
+
+// Negative: scalar clock advanced by a loop-invariant step (the
+// simulated-time pattern) — not a reduction over a collection.
+double good_time_advance(std::size_t rounds, double fixed_step) {
+  double model_time = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    model_time += fixed_step;
+  }
+  return model_time;
+}
+
+// Allowed: justified escape hatch.
+double allowed_reduce(const std::vector<double>& updates) {
+  double total = 0.0;
+  for (double u : updates) {
+    // lint:allow(fp-reduction-in-seam) fixture: diagnostics-only total
+    total += u;
+  }
+  return total;
+}
+
+}  // namespace fedvr::fl

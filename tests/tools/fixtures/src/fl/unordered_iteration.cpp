@@ -1,0 +1,48 @@
+// Fixture: no-unordered-iteration-in-reduction — iteration order of
+// unordered containers is implementation-defined; inside the aggregation/
+// serialization dirs it must never be observable.
+#include "util/fixture_prelude.h"
+
+namespace fedvr::fl {
+
+// Positive: range-for over an unordered_map member-ish local.
+void bad_range_for(const std::unordered_map<int, double>& per_device,
+                   std::vector<int>& keys) {
+  for (const auto& kv : per_device) {  // expect: no-unordered-iteration-in-reduction
+    keys.push_back(kv.first);
+  }
+}
+
+// Positive: explicit iterator walk over an unordered_set.
+void bad_begin_walk(const std::unordered_set<int>& quarantine,
+                    std::vector<int>& out) {
+  for (auto it = quarantine.begin(); it != quarantine.end(); ++it) {  // expect: no-unordered-iteration-in-reduction
+    out.push_back(*it);
+  }
+}
+
+// Negative: ordered containers iterate freely.
+void good_vector_walk(const std::vector<double>& updates,
+                      std::vector<double>& out) {
+  for (double u : updates) {
+    out.push_back(u);
+  }
+}
+
+// Negative: membership queries on unordered containers are fine — only
+// *iteration* leaks the order.
+std::size_t good_size_query(const std::unordered_map<int, double>& table) {
+  return table.size();
+}
+
+// Allowed: escape hatch with justification (e.g. the order is sorted
+// immediately after, or feeds nothing observable).
+void allowed_iteration(const std::unordered_set<int>& seen,
+                       std::vector<int>& out) {
+  // lint:allow(no-unordered-iteration-in-reduction) fixture: sorted below
+  for (int v : seen) {
+    out.push_back(v);
+  }
+}
+
+}  // namespace fedvr::fl

@@ -1,0 +1,47 @@
+// Fixture: no-wallclock-outside-obs — simulated time comes from the
+// timing model; ambient clocks in algorithm paths make runs
+// irreproducible and live only in src/obs/ + src/util/stopwatch.h.
+#include "util/fixture_prelude.h"
+
+namespace fedvr::nn {
+
+// Positive: a monotonic clock is still ambient time.
+long bad_steady_clock() {
+  return std::chrono::steady_clock::now();  // expect: no-wallclock-outside-obs
+}
+
+// Positive: C-style wall time.
+std::time_t bad_c_time() {
+  return std::time(nullptr);  // expect: no-wallclock-outside-obs
+}
+
+// Positive: POSIX clock read.
+long bad_clock_gettime() {
+  long ts = 0;
+  clock_gettime(1, &ts);  // expect: no-wallclock-outside-obs
+  return ts;
+}
+
+// Negative: Stopwatch is the sanctioned wrapper (its implementation is
+// exempt; call sites only see elapsed seconds).
+double good_stopwatch(const util::Stopwatch& sw) {
+  return sw.seconds();
+}
+
+// Negative: a *member* named time() on a domain type is simulated time,
+// not an ambient clock.
+struct SimSchedule {
+  double time() const;
+};
+double good_sim_time(const SimSchedule& sched) {
+  return sched.time();
+}
+
+// Allowed: with a justification the clock stays (e.g. a log-only
+// timestamp that never feeds the simulation).
+long allowed_clock() {
+  // lint:allow(no-wallclock-outside-obs) fixture: log-only timestamp
+  return std::chrono::high_resolution_clock::now();
+}
+
+}  // namespace fedvr::nn

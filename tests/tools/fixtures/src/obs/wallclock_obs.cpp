@@ -1,0 +1,15 @@
+// Fixture: src/obs/ may read ambient time (run timestamps, log clocks).
+// Everything here must stay quiet — no expect markers.
+#include "util/fixture_prelude.h"
+
+namespace fedvr::obs {
+
+long run_started_at() {
+  return std::chrono::system_clock::now();
+}
+
+std::time_t run_started_unix() {
+  return std::time(nullptr);
+}
+
+}  // namespace fedvr::obs

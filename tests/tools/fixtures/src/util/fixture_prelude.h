@@ -1,0 +1,143 @@
+// Minimal stand-ins so the analyzer fixtures parse hermetically: no system
+// headers (libclang then parses each fixture TU in milliseconds and the
+// findings cannot depend on the host's standard library). Declarations
+// only — nothing here may trip a rule, because frontends attribute facts
+// to the file that *uses* these names, and this header is excluded from
+// every scan.
+#pragma once
+
+namespace std {
+
+using size_t = unsigned long;
+using time_t = long;
+using uint64_t = unsigned long long;
+
+template <typename T>
+struct vector {
+  T& operator[](size_t i);
+  const T& operator[](size_t i) const;
+  T* begin();
+  T* end();
+  const T* begin() const;
+  const T* end() const;
+  void push_back(const T& v);
+  size_t size() const;
+};
+
+template <typename A, typename B>
+struct pair {
+  A first;
+  B second;
+};
+
+template <typename K, typename V>
+struct unordered_map {
+  using value_type = pair<const K, V>;
+  value_type* begin();
+  value_type* end();
+  const value_type* begin() const;
+  const value_type* end() const;
+  size_t size() const;
+};
+
+template <typename K>
+struct unordered_set {
+  const K* begin() const;
+  const K* end() const;
+  size_t size() const;
+};
+
+template <typename T>
+struct span {
+  T& operator[](size_t i);
+  T* begin();
+  T* end();
+  size_t size() const;
+};
+
+template <typename T>
+struct atomic {
+  atomic(T v);
+  T load() const;
+  atomic& operator+=(T v);
+  atomic& operator=(T v);
+};
+
+namespace chrono {
+struct system_clock {
+  static long now();
+  static time_t to_time_t(long tp);
+};
+struct steady_clock {
+  static long now();
+};
+struct high_resolution_clock {
+  static long now();
+};
+}  // namespace chrono
+
+int rand();
+void srand(unsigned seed);
+time_t time(time_t* out);
+struct random_device {
+  unsigned operator()();
+};
+
+}  // namespace std
+
+long clock_gettime(int clk, void* out);
+
+namespace fedvr {
+
+namespace util {
+
+struct Rng {
+  explicit Rng(std::uint64_t seed = 0);
+  void reseed(std::uint64_t seed);
+  double uniform();
+  std::size_t below(std::size_t bound);
+};
+
+Rng fork(std::uint64_t master_seed, std::uint64_t a, std::uint64_t b,
+         std::uint64_t purpose);
+
+namespace stream {
+inline constexpr std::uint64_t kInit = 1;
+inline constexpr std::uint64_t kData = 2;
+inline constexpr std::uint64_t kComm = 3;
+inline constexpr std::uint64_t kSampling = 4;
+}  // namespace stream
+
+struct ThreadPool {
+  static ThreadPool& global();
+  std::size_t size() const;
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& fn,
+                    std::size_t grain = 1);
+  template <typename F>
+  void parallel_ranges(std::size_t begin, std::size_t end, F&& fn,
+                       std::size_t grain = 1);
+  template <typename F>
+  void submit(F&& fn);
+};
+
+struct Stopwatch {
+  double seconds() const;
+};
+
+}  // namespace util
+
+namespace tensor {
+void accumulate_weighted(double w, std::span<const double> x,
+                         std::span<double> acc);
+double sum(std::span<const double> x);
+double weighted_sum(std::span<const double> w, std::span<const double> v);
+}  // namespace tensor
+
+namespace comm {
+struct Compressor {
+  std::vector<double> compress(std::span<const double> x);
+};
+}  // namespace comm
+
+}  // namespace fedvr

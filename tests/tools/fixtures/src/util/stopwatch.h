@@ -1,0 +1,16 @@
+// Fixture: src/util/stopwatch.h is the sanctioned wall-time wrapper —
+// the no-wallclock-outside-obs rule exempts exactly this path, so the
+// clock reads below must produce zero findings (no expect markers).
+#pragma once
+#include "util/fixture_prelude.h"
+
+namespace fedvr::util {
+
+struct FixtureStopwatch {
+  long start_ = std::chrono::steady_clock::now();
+  double seconds() const {
+    return static_cast<double>(std::chrono::steady_clock::now() - start_);
+  }
+};
+
+}  // namespace fedvr::util

@@ -1,0 +1,25 @@
+"""fedvr-analyze: AST/token-level determinism & concurrency analysis.
+
+The repo's headline guarantee — runs are bit-identical across thread-pool
+sizes from a single seed — is enforced at three layers:
+
+  1. runtime hash regressions (tests/check/determinism_test.cpp),
+  2. textual lint for header hygiene (tools/lint.py),
+  3. this package: structural analysis of the sources, driven by
+     compile_commands.json, that catches determinism hazards *before*
+     they reach a hash mismatch.
+
+Two frontends produce one shared fact stream (tools/analyze/facts.py):
+
+  * clang_frontend — libclang via the `clang.cindex` Python bindings,
+    used when the bindings and a loadable libclang are present.
+  * token_frontend — a self-contained C++ lexer + scope/decl tracker,
+    always available; the reference implementation the fixture suite
+    pins down.
+
+Rules live in rules.py; the CLI in cli.py.  Run `python3 tools/analyze
+--list-rules` for the catalog, and see DESIGN.md §14 for the rationale
+behind each invariant and the suppression policy.
+"""
+
+__version__ = "1.0"

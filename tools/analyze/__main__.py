@@ -1,0 +1,21 @@
+"""Entry point so `python3 tools/analyze` works from the repo root.
+
+Python runs a directory by putting it on sys.path and executing its
+__main__.py as a top-level script, which breaks relative imports — so
+bootstrap the package through its parent directory instead.
+"""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from analyze.cli import main  # type: ignore[no-redef]
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... --list-rules | head`
+        sys.exit(0)

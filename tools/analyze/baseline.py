@@ -1,0 +1,54 @@
+"""Committed suppression baseline.
+
+A baseline entry accepts one finding wholesale — (rule, file, content
+hash of the offending line) — so accepted findings survive unrelated
+line-number churn but resurface the moment the flagged code changes.
+Preferred suppression is the inline `// lint:allow(<rule>) <why>` (it
+carries its justification in the diff); the baseline exists for bulk
+adoption on a legacy tree. This repo's committed baseline is empty —
+every real finding was either fixed or inline-justified — and CI keeps
+it that way by failing on any non-baselined finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .facts import Finding
+
+
+def _line_key(root: Path, finding: Finding) -> str:
+    try:
+        lines = (root / finding.file).read_text(encoding="utf-8").splitlines()
+        content = lines[finding.line - 1].strip() if finding.line <= len(lines) else ""
+    except OSError:
+        content = ""
+    h = hashlib.sha256(content.encode("utf-8")).hexdigest()[:16]
+    return f"{finding.rule}:{finding.file}:{h}"
+
+
+class Baseline:
+    def __init__(self, keys: set[str]):
+        self.keys = keys
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls(set())
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls({e["key"] for e in data.get("entries", [])})
+
+    def filter(self, root: Path, findings: list[Finding]) -> list[Finding]:
+        return [f for f in findings if _line_key(root, f) not in self.keys]
+
+    @staticmethod
+    def write(path: Path, root: Path, findings: list[Finding]) -> None:
+        entries = [
+            {"key": _line_key(root, f), "note": f.render()}
+            for f in sorted(findings, key=lambda x: (x.file, x.line, x.rule))
+        ]
+        path.write_text(
+            json.dumps({"version": 1, "entries": entries}, indent=2) + "\n",
+            encoding="utf-8")

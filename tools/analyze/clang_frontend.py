@@ -1,0 +1,233 @@
+"""libclang frontend: the same fact schema, extracted from a real AST.
+
+Used when the `clang.cindex` Python bindings and a loadable libclang are
+both present (e.g. `apt install python3-clang libclang1-XX`); the CLI's
+`--frontend auto` probes via `available()` and silently falls back to
+the token frontend otherwise, so nothing in CI or ctest hard-depends on
+libclang being installed.
+
+What the AST buys over tokens: type-accurate unordered-container
+detection (typedefs, `auto`, members), type-accurate floating-point
+compound assignment, and call-expression-accurate wallclock / seam
+facts. Lambda *capture* analysis stays delegated to the token frontend:
+clang's C API does not expose capture lists, and the token heuristic is
+the documented contract the fixtures pin down — both frontends must
+agree on it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from . import token_frontend
+from .facts import (
+    BannedUseFact,
+    FileFacts,
+    FpAccumulationFact,
+    RngSeedFact,
+    UnorderedIterationFact,
+    WallclockFact,
+)
+
+_CINDEX = None
+_INDEX = None
+
+
+class FrontendUnavailable(RuntimeError):
+    pass
+
+
+def _load_cindex():
+    global _CINDEX
+    if _CINDEX is not None:
+        return _CINDEX
+    try:
+        from clang import cindex  # type: ignore[import-not-found]
+    except ImportError as e:
+        raise FrontendUnavailable(f"clang.cindex not importable: {e}") from e
+    if "CLANG_LIBRARY_FILE" in os.environ:
+        cindex.Config.set_library_file(os.environ["CLANG_LIBRARY_FILE"])
+    _CINDEX = cindex
+    return cindex
+
+
+def available() -> bool:
+    try:
+        _index()
+        return True
+    except FrontendUnavailable:
+        return False
+
+
+def _index():
+    global _INDEX
+    if _INDEX is None:
+        ci = _load_cindex()
+        try:
+            _INDEX = ci.Index.create()
+        except Exception as e:  # libclang .so missing/unloadable
+            raise FrontendUnavailable(f"libclang unavailable: {e}") from e
+    return _INDEX
+
+
+def extract(path: str, text: str, abs_path: Path,
+            parse_args: list[str] | None) -> FileFacts:
+    ci = _load_cindex()
+    index = _index()
+    args = list(parse_args or [])
+    if not any(a.startswith("-std=") for a in args):
+        args.append("-std=c++20")
+    try:
+        tu = index.parse(str(abs_path), args=args,
+                         unsaved_files=[(str(abs_path), text)],
+                         options=0)
+    except Exception as e:
+        raise FrontendUnavailable(f"parse failed for {path}: {e}") from e
+
+    # Capture analysis (and the allow-comment table) come from the token
+    # frontend; AST passes below *replace* the token facts for the fact
+    # kinds where the AST is strictly more precise.
+    ff = token_frontend.extract(path, text)
+    kept = [f for f in ff.facts
+            if not isinstance(f, (RngSeedFact, UnorderedIterationFact,
+                                  WallclockFact, FpAccumulationFact,
+                                  BannedUseFact))]
+    ff.facts = kept
+
+    ck = ci.CursorKind
+    main_file = str(abs_path)
+
+    def in_main(cursor) -> bool:
+        loc = cursor.location
+        return loc.file is not None and str(loc.file) == main_file
+
+    def tokens_of(cursor) -> list[str]:
+        return [t.spelling for t in cursor.get_tokens()]
+
+    def loop_stack_walk(cursor, loops):
+        """Recursive walk carrying the enclosing-loop stack."""
+        kind = cursor.kind
+        if in_main(cursor):
+            _visit(cursor, loops)
+        new_loops = loops
+        if kind in (ck.FOR_STMT, ck.CXX_FOR_RANGE_STMT):
+            loop_vars = set()
+            for ch in cursor.get_children():
+                if ch.kind in (ck.DECL_STMT, ck.VAR_DECL):
+                    for d in ([ch] if ch.kind == ck.VAR_DECL
+                              else ch.get_children()):
+                        if d.kind == ck.VAR_DECL and d.spelling:
+                            loop_vars.add(d.spelling)
+                break  # only the first child (init / range decl)
+            ext = cursor.extent
+            new_loops = loops + [
+                ("range" if kind == ck.CXX_FOR_RANGE_STMT else "indexed",
+                 loop_vars, (ext.start.offset, ext.end.offset))]
+        for ch in cursor.get_children():
+            loop_stack_walk(ch, new_loops)
+
+    def _visit(cursor, loops):
+        kind = cursor.kind
+        line = cursor.location.line
+        if kind == ck.CXX_FOR_RANGE_STMT:
+            # Children: loop-variable decl, range expression, body — scan
+            # everything before the body for an unordered range type.
+            for ch in cursor.get_children():
+                if ch.kind == ck.COMPOUND_STMT:
+                    break
+                t = ch.type.spelling if ch.type else ""
+                if "unordered_map" in t or "unordered_set" in t:
+                    ff.facts.append(UnorderedIterationFact(
+                        line=line, container=ch.spelling or "<range>"))
+                    break
+        elif kind in (ck.DECL_REF_EXPR, ck.TYPE_REF):
+            name = cursor.spelling.split("::")[-1] if cursor.spelling else ""
+            if name in token_frontend.WALLCLOCK_TYPE_NAMES:
+                ff.facts.append(WallclockFact(line=line, name=name))
+        elif kind == ck.CALL_EXPR:
+            name = cursor.spelling or ""
+            if name in ("begin", "cbegin"):
+                ch = next(iter(cursor.get_children()), None)
+                t = ch.type.spelling if ch is not None and ch.type else ""
+                if "unordered_map" in t or "unordered_set" in t:
+                    ff.facts.append(UnorderedIterationFact(
+                        line=line, container=ch.spelling or "<container>"))
+            elif name in token_frontend.WALLCLOCK_FN_NAMES:
+                # `sched.time()` on a domain type is not ambient time —
+                # only free functions (::time, std::time, clock_gettime).
+                ref = cursor.referenced
+                if ref is None or ref.kind != ck.CXX_METHOD:
+                    ff.facts.append(WallclockFact(line=line, name=name))
+            elif name in ("fork", "reseed", "Rng"):
+                args_txt = tuple(
+                    t for child in list(cursor.get_children())[1:]
+                    for t in tokens_of(child))
+                if args_txt:
+                    ff.facts.append(RngSeedFact(
+                        line=line, callee=name, arg_tokens=args_txt,
+                        address_of="&" in args_txt))
+            elif name in ("rand", "srand"):
+                ff.facts.append(BannedUseFact(line, "std-rand", name))
+            elif name == "accumulate_weighted":
+                ff.facts.append(
+                    BannedUseFact(line, "accumulate-weighted", name))
+            elif name == "compress":
+                ff.facts.append(BannedUseFact(line, "compress-call", name))
+        elif kind == ck.VAR_DECL:
+            # Rng constructions surface as CALL_EXPRs (handled above);
+            # here only ambient-randomness declarations matter.
+            t = cursor.type.spelling if cursor.type else ""
+            if "random_device" in t:
+                ff.facts.append(
+                    BannedUseFact(line, "std-rand", "random_device"))
+        elif kind == ck.CXX_NEW_EXPR:
+            ff.facts.append(BannedUseFact(line, "new", "new"))
+        elif kind == ck.CXX_DELETE_EXPR:
+            ff.facts.append(BannedUseFact(line, "delete", "delete"))
+        elif kind == ck.COMPOUND_ASSIGNMENT_OPERATOR and loops:
+            toks = tokens_of(cursor)
+            if "+=" not in toks:
+                return
+            children = list(cursor.get_children())
+            if not children:
+                return
+            lhs = children[0]
+            lhs_type = lhs.type.spelling if lhs.type else ""
+            if not any(fp in lhs_type for fp in ("double", "float")):
+                return
+            op_idx = toks.index("+=")
+            lhs_toks, rhs_toks = toks[:op_idx], toks[op_idx + 1:]
+            inner_kind, _, inner_ext = loops[-1]
+            all_vars = set().union(*(v for _, v, _ in loops))
+            lhs_base = next((t for t in lhs_toks if t.isidentifier()), "")
+            sub_ids = set(lhs_toks[1:]) & all_vars
+            # Per-iteration accumulator? Follow the LHS var's declaration:
+            # if it sits inside the innermost loop's extent it is a
+            # loop-local, not a cross-collection reduction.
+            declared_in_loop = False
+            ref = None
+            stack = [lhs]
+            while stack:
+                c = stack.pop()
+                if c.kind == ck.DECL_REF_EXPR and c.referenced is not None:
+                    ref = c.referenced
+                    break
+                stack.extend(c.get_children())
+            if ref is not None and ref.location.file is not None and \
+                    str(ref.location.file) == main_file:
+                off = ref.location.offset
+                declared_in_loop = inner_ext[0] <= off < inner_ext[1]
+            ff.facts.append(FpAccumulationFact(
+                line=line, lhs=lhs_base or "<expr>", loop_kind=inner_kind,
+                rhs_uses_loop_var=bool(set(rhs_toks) & all_vars),
+                lhs_declared_in_loop=declared_in_loop,
+                lhs_indexed_by_loop_var=bool(sub_ids)))
+
+    # Only recurse into top-level declarations from the main file (the
+    # included headers' bodies are parsed but not re-analyzed here; each
+    # header is analyzed as its own scan entry).
+    for top in tu.cursor.get_children():
+        if in_main(top):
+            loop_stack_walk(top, [])
+    return ff

@@ -1,0 +1,161 @@
+"""fedvr-analyze command line.
+
+Local invocation (from the repo root):
+
+    python3 tools/analyze                        # scan src/ (token or clang)
+    python3 tools/analyze --compdb build/compile_commands.json
+    python3 tools/analyze --list-rules
+    python3 tools/analyze --json findings.json   # machine-readable output
+
+Exit codes: 0 clean, 1 findings, 2 usage/infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import clang_frontend, rules, token_frontend
+from .baseline import Baseline
+from .compdb import CompDB
+from .facts import Finding
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+
+def _gather_files(root: Path, paths: list[str],
+                  excludes: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        base = (root / p) if not Path(p).is_absolute() else Path(p)
+        if base.is_file():
+            out.append(base)
+        elif base.is_dir():
+            out.extend(sorted(
+                f for f in base.rglob("*")
+                if f.is_file() and f.suffix in SOURCE_SUFFIXES))
+        else:
+            print(f"fedvr-analyze: no such path: {base}", file=sys.stderr)
+    def excluded(f: Path) -> bool:
+        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) else str(f)
+        return any(rel == e or rel.startswith(e.rstrip("/") + "/")
+                   for e in excludes)
+    return [f for f in out if not excluded(f)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="fedvr-analyze",
+        description="AST/token-level determinism & concurrency analysis "
+                    "for the fedvr sources")
+    ap.add_argument("--root", type=Path, default=None,
+                    help="repository root (default: two levels up from "
+                         "this package)")
+    ap.add_argument("--paths", nargs="*", default=["src"],
+                    help="files or directories to scan, relative to --root "
+                         "(default: src)")
+    ap.add_argument("--exclude", action="append", default=[],
+                    help="root-relative path prefix to skip (repeatable)")
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="compile_commands.json (used by the clang frontend "
+                         "for per-TU flags; optional for the token frontend)")
+    ap.add_argument("--frontend", choices=["auto", "token", "clang"],
+                    default="auto",
+                    help="auto prefers libclang when clang.cindex + a "
+                         "loadable libclang exist, else token (default)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="suppression baseline JSON (default: "
+                         "tools/analyze/baseline.json under --root)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write the current findings to the baseline file "
+                         "and exit 0")
+    ap.add_argument("--json", type=Path, default=None, metavar="OUT",
+                    help="also write findings as JSON to OUT")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        print(rules.list_rules())
+        return 0
+
+    root = (args.root or Path(__file__).resolve().parent.parent.parent).resolve()
+    baseline_path = args.baseline or root / "tools" / "analyze" / "baseline.json"
+
+    frontend = args.frontend
+    if frontend == "auto":
+        frontend = "clang" if clang_frontend.available() else "token"
+    if frontend == "clang" and not clang_frontend.available():
+        print("fedvr-analyze: --frontend clang requested but clang.cindex/"
+              "libclang is unavailable", file=sys.stderr)
+        return 2
+
+    compdb = None
+    if args.compdb is not None:
+        if args.compdb.exists():
+            compdb = CompDB.load(args.compdb)
+        else:
+            print(f"fedvr-analyze: warning: no compilation database at "
+                  f"{args.compdb}; falling back to a plain source walk",
+                  file=sys.stderr)
+
+    files = _gather_files(root, args.paths, args.exclude)
+    if not files:
+        print("fedvr-analyze: no sources found", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    scanned = 0
+    for f in files:
+        rel = f.relative_to(root).as_posix() if f.is_relative_to(root) else f.as_posix()
+        try:
+            text = f.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            print(f"fedvr-analyze: cannot read {rel}: {e}", file=sys.stderr)
+            return 2
+        if frontend == "clang":
+            parse_args = compdb.args_for(f) if compdb else None
+            try:
+                ff = clang_frontend.extract(rel, text, f, parse_args)
+            except clang_frontend.FrontendUnavailable as e:
+                print(f"fedvr-analyze: clang frontend failed ({e}); "
+                      "re-run with --frontend token", file=sys.stderr)
+                return 2
+        else:
+            ff = token_frontend.extract(rel, text)
+        findings.extend(rules.evaluate(ff))
+        scanned += 1
+
+    # Nested expressions (Rng(fork(...))) can surface the same hazard
+    # through more than one fact; one report per (rule, file, line).
+    findings = sorted({(x.rule, x.file, x.line): x for x in findings}.values(),
+                      key=lambda x: (x.file, x.line, x.rule))
+
+    if args.write_baseline:
+        Baseline.write(baseline_path, root, findings)
+        print(f"fedvr-analyze: wrote {len(findings)} baseline entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to {baseline_path}")
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    reported = baseline.filter(root, findings)
+    suppressed = len(findings) - len(reported)
+
+    if args.json is not None:
+        args.json.write_text(json.dumps({
+            "frontend": frontend,
+            "scanned": scanned,
+            "findings": [
+                {"rule": x.rule, "file": x.file, "line": x.line,
+                 "message": x.message} for x in reported],
+            "baselined": suppressed,
+        }, indent=2) + "\n", encoding="utf-8")
+
+    for x in reported:
+        print(x.render())
+    print(f"fedvr-analyze [{frontend}]: {scanned} files scanned, "
+          f"{len(reported)} finding(s)"
+          + (f", {suppressed} baselined" if suppressed else ""))
+    return 1 if reported else 0

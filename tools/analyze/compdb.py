@@ -1,0 +1,79 @@
+"""compile_commands.json loader.
+
+The token frontend only needs the file *list* (and works without a
+database at all, by walking src/); the clang frontend also needs each
+TU's flags so libclang parses with the project's include paths and
+standard. CMake exports the database when configured with
+CMAKE_EXPORT_COMPILE_COMMANDS=ON (on by default in this repo's
+top-level CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from pathlib import Path
+
+# Driver arguments libclang must not see (they are for the compiler
+# process, not the parser).
+_DROP_EXACT = {"-c", "-fPIC", "-pipe"}
+_DROP_PREFIX = ("-o", "-M", "-fdiagnostics", "-W", "-fsanitize")
+_KEEP_PREFIX = ("-I", "-D", "-std=", "-isystem", "-include", "-U")
+
+
+class CompDB:
+    def __init__(self, entries: dict[str, list[str]]):
+        # absolute source path -> parse args
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: Path) -> "CompDB":
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        entries: dict[str, list[str]] = {}
+        for e in raw:
+            directory = Path(e.get("directory", "."))
+            src = Path(e["file"])
+            if not src.is_absolute():
+                src = directory / src
+            if "arguments" in e:
+                argv = list(e["arguments"])
+            else:
+                argv = shlex.split(e.get("command", ""))
+            entries[str(src.resolve())] = cls._parse_args(argv, directory)
+        return cls(entries)
+
+    @staticmethod
+    def _parse_args(argv: list[str], directory: Path) -> list[str]:
+        out: list[str] = []
+        skip_next = False
+        for a in argv[1:]:  # argv[0] is the compiler
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a in _DROP_EXACT:
+                continue
+            if a.startswith(_KEEP_PREFIX):
+                # Make relative include dirs absolute for out-of-dir parses.
+                if a.startswith("-I") and len(a) > 2 and not Path(a[2:]).is_absolute():
+                    a = "-I" + str((directory / a[2:]).resolve())
+                out.append(a)
+                continue
+            if a.startswith(_DROP_PREFIX) or a.startswith("-"):
+                continue
+            # bare path: the source file itself — drop.
+        return out
+
+    def args_for(self, src: Path) -> list[str] | None:
+        """Parse args for src, or for a sibling TU in the same directory
+        (headers are not compiled, but a neighbour's flags fit)."""
+        key = str(src.resolve())
+        if key in self.entries:
+            return self.entries[key]
+        parent = str(src.resolve().parent)
+        for k, v in self.entries.items():
+            if str(Path(k).parent) == parent:
+                return v
+        return next(iter(self.entries.values()), None)

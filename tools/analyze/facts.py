@@ -1,0 +1,106 @@
+"""The fact schema both frontends emit and all rules consume.
+
+A *fact* is a structural observation about one translation unit — "a
+range-for iterates an unordered container here", "this lambda passed to
+parallel_for writes a by-ref capture without indexing by its range
+parameter". Facts carry no policy: whether a fact becomes a finding
+(and in which directories, with which escape hatches) is decided by
+tools/analyze/rules.py, so the clang and token frontends stay
+interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RngSeedFact:
+    """A util::Rng construction / util::fork / reseed call; arg_tokens is
+    the flat token spelling of every argument expression."""
+    line: int
+    callee: str  # "Rng" | "fork" | "reseed"
+    arg_tokens: tuple[str, ...] = ()
+    address_of: bool = False  # a unary & appears inside the arguments
+
+
+@dataclass(frozen=True)
+class UnorderedIterationFact:
+    """Range-for (or explicit .begin() walk) over a container declared
+    std::unordered_map / std::unordered_set."""
+    line: int
+    container: str
+
+
+@dataclass(frozen=True)
+class ParallelWriteFact:
+    """A write inside a lambda handed to a parallel entry point
+    (ThreadPool::parallel_for / parallel_ranges / submit or a registered
+    wrapper) that targets state captured by reference, where the index —
+    if any — does not derive from the lambda's own range parameter."""
+    line: int
+    entry: str       # the parallel entry point the lambda flows into
+    target: str      # the written variable
+    detail: str      # human description of why the write is suspect
+
+
+@dataclass(frozen=True)
+class WallclockFact:
+    """std::chrono::{system,steady,high_resolution}_clock, ::time(),
+    clock_gettime(), ... — any ambient-time read."""
+    line: int
+    name: str
+
+
+@dataclass(frozen=True)
+class FpAccumulationFact:
+    """`lhs += rhs` on a floating-point target inside a loop whose
+    accumulation order follows a collection (range-for, or the rhs
+    indexes/calls through the loop variable)."""
+    line: int
+    lhs: str
+    loop_kind: str               # "range" | "indexed"
+    rhs_uses_loop_var: bool
+    lhs_declared_in_loop: bool   # per-iteration local: not a reduction
+    lhs_indexed_by_loop_var: bool  # element-wise disjoint update
+
+
+@dataclass(frozen=True)
+class BannedUseFact:
+    """Single-identifier facts backing the rules ported from the old
+    regex lint: std::rand family, naked new/delete, accumulate_weighted
+    outside the aggregator seam, Compressor::compress outside comm."""
+    line: int
+    kind: str  # "std-rand" | "new" | "delete" | "accumulate-weighted" | "compress-call"
+    spelling: str
+
+
+Fact = (
+    RngSeedFact
+    | UnorderedIterationFact
+    | ParallelWriteFact
+    | WallclockFact
+    | FpAccumulationFact
+    | BannedUseFact
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    file: str  # repo-root-relative, forward slashes
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class FileFacts:
+    """Everything extracted from one source file."""
+    path: str  # repo-root-relative
+    facts: list[Fact] = field(default_factory=list)
+    # lines carrying `// lint:allow(<rule>) <why>` → rule name, and the
+    # set of lines where *any* comment sits (for allow-on-line-above).
+    allows: dict[int, str] = field(default_factory=dict)

@@ -1,0 +1,214 @@
+"""A small C++ lexer: tokens with line numbers, comments kept separately.
+
+This is not a full C++ grammar — it is exactly enough structure for the
+token frontend to reason about scopes, declarations, capture lists, and
+call argument lists without the false positives a line-regex scanner
+suffers (matches inside strings, comments, or split across lines).
+
+Handled: line/block comments, string literals (including raw strings and
+encoding prefixes), char literals, digit separators (1'000'000),
+preprocessor directives (skipped, with continuations), and the multi-char
+operators the frontends care about (`::`, `->`, `+=`, `==`, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tok:
+    text: str
+    line: int
+    kind: str  # "id" | "num" | "str" | "chr" | "punct"
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str
+    line: int  # line the comment starts on
+
+
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_RAW_PREFIXES = ("R", "u8R", "uR", "UR", "LR")
+
+
+def lex(text: str) -> tuple[list[Tok], list[Comment]]:
+    toks: list[Tok] = []
+    comments: list[Comment] = []
+    i, n, line = 0, len(text), 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def skip_string(j: int) -> int:
+        """j points at the opening quote; returns index past the close."""
+        quote = text[j]
+        j += 1
+        while j < n:
+            c = text[j]
+            if c == "\\":
+                j += 2
+                continue
+            if c == quote or c == "\n":  # unterminated: bail at EOL
+                return j + 1 if c == quote else j
+            j += 1
+        return j
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor line (with backslash continuations). Include-based
+        # rules live in tools/lint.py; the frontends never see pp tokens.
+        if c == "#" and at_line_start:
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            continue
+        at_line_start = False
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comments.append(Comment(text[i:j], line))
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            body = text[i : j + 2]
+            comments.append(Comment(body, line))
+            line += body.count("\n")
+            i = j + 2
+            continue
+        # Numbers (before char literals: C++14 digit separators use ').
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n:
+                d = text[j]
+                if d.isalnum() or d in "._":
+                    j += 1
+                elif d == "'" and j + 1 < n and text[j + 1].isalnum():
+                    j += 1  # digit separator
+                elif d in "+-" and text[j - 1] in "eEpP":
+                    j += 1  # exponent sign
+                else:
+                    break
+            toks.append(Tok(text[i:j], line, "num"))
+            i = j
+            continue
+        # Identifiers (and raw/encoded string prefixes).
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            word = text[i:j]
+            if j < n and text[j] == '"' and word in _RAW_PREFIXES and word.endswith("R"):
+                # Raw string: R"delim( ... )delim"
+                k = j + 1
+                delim_end = text.find("(", k)
+                if delim_end != -1:
+                    delim = text[k:delim_end]
+                    close = text.find(")" + delim + '"', delim_end)
+                    close = n if close == -1 else close + len(delim) + 2
+                    line += text[i:close].count("\n")
+                    toks.append(Tok('""', line, "str"))
+                    i = close
+                    continue
+            if j < n and text[j] in "\"'" and word in ("u8", "u", "U", "L"):
+                lit_end = skip_string(j)
+                toks.append(Tok('""', line, "str"))
+                i = lit_end
+                continue
+            toks.append(Tok(word, line, "id"))
+            i = j
+            continue
+        # Plain string / char literals.
+        if c == '"':
+            j = skip_string(i)
+            toks.append(Tok('""', line, "str"))
+            i = j
+            continue
+        if c == "'":
+            j = skip_string(i)
+            toks.append(Tok("''", line, "chr"))
+            i = j
+            continue
+        # Punctuation, longest match first.
+        for group in (_PUNCT3, _PUNCT2):
+            tail = text[i : i + len(group[0])]
+            if tail in group:
+                toks.append(Tok(tail, line, "punct"))
+                i += len(tail)
+                break
+        else:
+            toks.append(Tok(c, line, "punct"))
+            i += 1
+    return toks, comments
+
+
+def match_forward(toks: list[Tok], i: int, open_: str, close: str) -> int:
+    """toks[i] is `open_`; returns the index of the matching `close`
+    (or len(toks) if unbalanced)."""
+    depth = 0
+    for j in range(i, len(toks)):
+        t = toks[j].text
+        if t == open_:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(toks)
+
+
+def match_backward(toks: list[Tok], i: int, open_: str, close: str) -> int:
+    """toks[i] is `close`; returns the index of the matching `open_`
+    (or -1 if unbalanced)."""
+    depth = 0
+    for j in range(i, -1, -1):
+        t = toks[j].text
+        if t == close:
+            depth += 1
+        elif t == open_:
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def split_top_level(toks: list[Tok], lo: int, hi: int, sep: str) -> list[tuple[int, int]]:
+    """Splits toks[lo:hi] at depth-0 occurrences of `sep`; returns
+    (start, end) index pairs. Depth counts (), [], {} and <> shallowly
+    enough for argument lists."""
+    parts: list[tuple[int, int]] = []
+    depth = 0
+    start = lo
+    for j in range(lo, hi):
+        t = toks[j].text
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif t == sep and depth == 0:
+            parts.append((start, j))
+            start = j + 1
+    parts.append((start, hi))
+    return parts

@@ -1,0 +1,609 @@
+"""Token/scope frontend: extracts facts.py facts from lexed C++.
+
+Always available (pure Python, no libclang), and the reference
+implementation the fixture suite in tests/tools/ pins down. The
+heuristics are deliberately conservative and documented per rule in
+DESIGN.md §14; structural blind spots (writes hidden behind function
+calls, lambdas stored in std::function members) are listed there too.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import lexer
+from .facts import (
+    BannedUseFact,
+    FileFacts,
+    FpAccumulationFact,
+    ParallelWriteFact,
+    RngSeedFact,
+    UnorderedIterationFact,
+    WallclockFact,
+)
+from .lexer import Tok, match_backward, match_forward, split_top_level
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)\s+\S")
+
+# Entry points whose lambda arguments run concurrently. for_each_device is
+# the repo's local wrapper in src/core/proxskip.cpp that forwards to
+# ThreadPool::parallel_for.
+PARALLEL_ENTRY_NAMES = {"parallel_for", "parallel_ranges", "submit", "for_each_device"}
+
+# Ambient-time sources. The *_clock names fire on any use (they are type
+# names); the function-style names require a following "(".
+WALLCLOCK_TYPE_NAMES = {"system_clock", "steady_clock", "high_resolution_clock"}
+WALLCLOCK_FN_NAMES = {
+    "time", "clock", "clock_gettime", "gettimeofday", "timespec_get",
+    "localtime", "gmtime", "mktime", "difftime",
+}
+
+# Identifiers that must never appear in a (seed, device, round, stream)
+# derivation: wall time, addresses, or ambient randomness.
+RNG_BANNED_ATOMS = {
+    "time", "clock", "now", "rand", "random_device", "gettimeofday",
+    "this", "reinterpret_cast", "uintptr_t", "intptr_t",
+    "system_clock", "steady_clock", "high_resolution_clock",
+}
+
+_TYPE_KEYWORDS = {
+    "auto", "double", "float", "bool", "int", "long", "short", "unsigned",
+    "signed", "char", "size_t", "uint64_t", "int64_t", "uint32_t", "int32_t",
+    "uint8_t", "ptrdiff_t",
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+
+class _Loop:
+    __slots__ = ("kind", "vars", "header", "body", "line")
+
+    def __init__(self, kind: str, vars_: set[str], header: tuple[int, int],
+                 body: tuple[int, int], line: int):
+        self.kind = kind      # "range" | "indexed"
+        self.vars = vars_
+        self.header = header  # token index range of the for(...) header
+        self.body = body      # token index range of the loop body
+        self.line = line
+
+
+class _Lambda:
+    __slots__ = ("start", "body", "cap_default", "ref_caps", "val_caps",
+                 "caps_this", "params", "line")
+
+    def __init__(self):
+        self.start = -1
+        self.body = (0, 0)
+        self.cap_default = ""   # "&", "=", or ""
+        self.ref_caps: set[str] = set()
+        self.val_caps: set[str] = set()
+        self.caps_this = False
+        self.params: set[str] = set()
+        self.line = 0
+
+
+def extract(path: str, text: str) -> FileFacts:
+    toks, comments = lexer.lex(text)
+    ff = FileFacts(path=path)
+    for c in comments:
+        m = ALLOW_RE.search(c.text)
+        if m:
+            ff.allows[c.line] = m.group(1)
+    sc = _Scanner(toks)
+    ff.facts = sc.run()
+    return ff
+
+
+class _Scanner:
+    def __init__(self, toks: list[Tok]):
+        self.toks = toks
+        self.n = len(toks)
+        self.facts = []
+        self.fp_scalars: set[str] = set()
+        self.fp_arrays: set[str] = set()
+        self.unordered_vars: set[str] = set()
+        self.atomic_vars: set[str] = set()
+        self.loops: list[_Loop] = []
+        self.lambda_defs: dict[str, _Lambda] = {}
+
+    # ---------------------------------------------------------------- decls
+    def _collect_decls(self) -> None:
+        toks = self.toks
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.text in ("double", "float"):
+                j = i + 1
+                # `double x`, `double& x`, `const double* x` — skip refs.
+                while j < self.n and toks[j].text in ("&", "*", "const"):
+                    j += 1
+                if j < self.n and toks[j].kind == "id":
+                    self.fp_scalars.add(toks[j].text)
+            elif t.text in ("vector", "span", "array", "unordered_map",
+                            "unordered_set", "atomic"):
+                j = i + 1
+                if j >= self.n or toks[j].text != "<":
+                    continue
+                close = self._match_angle(j)
+                if close < 0:
+                    continue
+                inner = {x.text for x in toks[j : close + 1]}
+                k = close + 1
+                while k < self.n and toks[k].text in ("&", "*", "const"):
+                    k += 1
+                if k >= self.n or toks[k].kind != "id":
+                    continue
+                name = toks[k].text
+                if t.text in ("unordered_map", "unordered_set"):
+                    self.unordered_vars.add(name)
+                elif t.text == "atomic":
+                    self.atomic_vars.add(name)
+                elif "double" in inner or "float" in inner:
+                    self.fp_arrays.add(name)
+
+    def _match_angle(self, i: int) -> int:
+        """toks[i] == '<'; match the closing '>' treating '>>' as two."""
+        depth = 0
+        for j in range(i, min(self.n, i + 256)):
+            t = self.toks[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return j
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j
+            elif t in (";", "{"):
+                return -1
+        return -1
+
+    # ---------------------------------------------------------------- loops
+    def _collect_loops(self) -> None:
+        toks = self.toks
+        for i, t in enumerate(toks):
+            if t.text != "for" or t.kind != "id":
+                continue
+            if i + 1 >= self.n or toks[i + 1].text != "(":
+                continue
+            close = match_forward(toks, i + 1, "(", ")")
+            if close >= self.n:
+                continue
+            header = (i + 2, close)
+            body = self._statement_after(close + 1)
+            colon = self._top_level_colon(header)
+            if colon >= 0:
+                var = ""
+                for j in range(colon - 1, header[0] - 1, -1):
+                    if toks[j].kind == "id":
+                        var = toks[j].text
+                        break
+                self.loops.append(
+                    _Loop("range", {var} if var else set(), header, body, t.line))
+            else:
+                vars_: set[str] = set()
+                semi = header[0]
+                while semi < header[1] and toks[semi].text != ";":
+                    semi += 1
+                for j in range(header[0], semi):
+                    if (toks[j].kind == "id" and j + 1 < self.n
+                            and toks[j + 1].text in ("=", "{")):
+                        vars_.add(toks[j].text)
+                self.loops.append(_Loop("indexed", vars_, header, body, t.line))
+
+    def _top_level_colon(self, header: tuple[int, int]) -> int:
+        depth = 0
+        for j in range(header[0], header[1]):
+            t = self.toks[j].text
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == ":" and depth == 0:
+                return j
+            elif t == "?" and depth == 0:
+                return -1  # ternary in a classic-for condition
+        return -1
+
+    def _statement_after(self, i: int) -> tuple[int, int]:
+        """Body token range starting at i: a {...} block or one statement."""
+        if i < self.n and self.toks[i].text == "{":
+            return (i + 1, match_forward(self.toks, i, "{", "}"))
+        depth = 0
+        for j in range(i, self.n):
+            t = self.toks[j].text
+            if t in ("(", "[", "{"):
+                depth += 1
+            elif t in (")", "]", "}"):
+                depth -= 1
+            elif t == ";" and depth == 0:
+                return (i, j)
+        return (i, self.n)
+
+    def _enclosing_loops(self, idx: int) -> list[_Loop]:
+        """Innermost-first list of loops whose body contains token idx."""
+        out = [lp for lp in self.loops if lp.body[0] <= idx < lp.body[1]]
+        out.sort(key=lambda lp: lp.body[1] - lp.body[0])
+        return out
+
+    # -------------------------------------------------------------- lambdas
+    def _parse_lambda(self, i: int) -> _Lambda | None:
+        """toks[i] == '[' opening a capture list; returns None if this is
+        not a lambda (subscript etc.)."""
+        toks = self.toks
+        close = match_forward(toks, i, "[", "]")
+        if close >= self.n:
+            return None
+        lam = _Lambda()
+        lam.start = i
+        lam.line = toks[i].line
+        for lo, hi in split_top_level(toks, i + 1, close, ","):
+            seg = [toks[j].text for j in range(lo, hi)]
+            if not seg:
+                continue
+            if seg == ["&"]:
+                lam.cap_default = "&"
+            elif seg == ["="]:
+                lam.cap_default = "="
+            elif seg[0] == "&" and len(seg) >= 2:
+                lam.ref_caps.add(seg[-1])
+            elif seg == ["this"] or seg[0] == "*":
+                lam.caps_this = True
+            else:
+                lam.val_caps.add(seg[-1])
+        j = close + 1
+        if j < self.n and toks[j].text == "(":
+            pclose = match_forward(toks, j, "(", ")")
+            for lo, hi in split_top_level(toks, j + 1, pclose, ","):
+                for k in range(hi - 1, lo - 1, -1):
+                    if toks[k].kind == "id":
+                        lam.params.add(toks[k].text)
+                        break
+            j = pclose + 1
+        # Skip specifiers (mutable, noexcept, -> ret) up to the body.
+        while j < self.n and toks[j].text != "{":
+            if toks[j].text in (";", ")", ","):
+                return None  # `[i]` subscript or array literal — not a lambda
+            j += 1
+        if j >= self.n:
+            return None
+        lam.body = (j + 1, match_forward(toks, j, "{", "}"))
+        return lam
+
+    def _collect_lambda_defs(self) -> None:
+        """`auto name = [caps](params){...};` → name → lambda."""
+        toks = self.toks
+        for i in range(self.n - 2):
+            if (toks[i].kind == "id" and toks[i + 1].text == "="
+                    and toks[i + 2].text == "["):
+                lam = self._parse_lambda(i + 2)
+                if lam is not None:
+                    self.lambda_defs[toks[i].text] = lam
+
+    def _lambda_writes(self, lam: _Lambda, entry: str) -> None:
+        """Emits ParallelWriteFact for suspicious writes in `lam`'s body."""
+        toks = self.toks
+        body_locals: set[str] = set(lam.params)
+        lo, hi = lam.body
+        # Loop variables of loops nested in the body are per-invocation
+        # state too (range-for refs like `for (auto& i : idx)` have no
+        # `type id =` shape for the decl scan below to catch).
+        for lp in self.loops:
+            if lo <= lp.header[0] and lp.header[1] <= hi:
+                body_locals |= lp.vars
+        for k in range(lo, hi):
+            op = toks[k].text
+            if toks[k].kind != "punct":
+                continue
+            if op in ("++", "--"):
+                # ++x / x++ / ++arr[i]
+                tgt, sub, chain_start = None, None, -1
+                if k + 1 < hi and toks[k + 1].kind == "id":
+                    tgt, chain_start = toks[k + 1].text, k + 1
+                elif toks[k - 1].kind == "id":
+                    tgt, chain_start = toks[k - 1].text, k - 1
+                elif toks[k - 1].text == "]":
+                    tgt, sub, chain_start = self._lhs_chain(k)
+                if tgt is None:
+                    continue
+                self._classify_write(lam, entry, toks[k].line, tgt, sub,
+                                     body_locals)
+                continue
+            if op not in _ASSIGN_OPS:
+                continue
+            tgt, sub, chain_start = self._lhs_chain(k)
+            if tgt is None:
+                continue
+            # Declaration with initializer (`double t = ...`): the token
+            # before the chain is part of a type. Record as body-local.
+            prev = toks[chain_start - 1] if chain_start > 0 else None
+            if prev is not None and sub is None and (
+                    prev.text in _TYPE_KEYWORDS or prev.text in ("&", "*", ">")
+                    or (prev.kind == "id" and prev.text not in ("return",))):
+                if op == "=" and (prev.text in _TYPE_KEYWORDS
+                                  or prev.text in ("&", "*", ">")):
+                    body_locals.add(tgt)
+                    continue
+                if op == "=" and prev.kind == "id" and chain_start >= 2 and \
+                        toks[chain_start - 2].text in _TYPE_KEYWORDS | {"::", "const", ">", "&", "*"}:
+                    # `std::size_t lo = ...`, `const std::size_t len = ...`
+                    body_locals.add(tgt)
+                    continue
+            self._classify_write(lam, entry, toks[k].line, tgt, sub,
+                                 body_locals)
+        # Loop variables declared in for-headers inside the body count as
+        # locals too (handled above via the `type id =` pattern since the
+        # header tokens are in the body range only for nested loops — the
+        # for-init decl matches the same `type id =` shape).
+
+    def _lhs_chain(self, k: int):
+        """Walks back from the assignment op at k over a postfix chain
+        (`a.b[i]`, `v[j]`, `x`): returns (base ident, subscript token
+        texts or None, chain start index)."""
+        toks = self.toks
+        j = k - 1
+        sub: list[str] | None = None
+        while j >= 0:
+            t = toks[j]
+            if t.text == "]":
+                open_ = match_backward(toks, j, "[", "]")
+                if open_ < 0:
+                    return None, None, -1
+                inner = [toks[x].text for x in range(open_ + 1, j)]
+                sub = inner if sub is None else inner + sub
+                j = open_ - 1
+            elif t.text == ")":
+                return None, None, -1  # f(...) = — not a var write we track
+            elif t.kind == "id":
+                if j >= 1 and toks[j - 1].text in (".", "->", "::"):
+                    j -= 2
+                    continue
+                return t.text, sub, j
+            else:
+                return None, None, -1
+        return None, None, -1
+
+    def _classify_write(self, lam: _Lambda, entry: str, line: int, tgt: str,
+                        sub: list[str] | None, body_locals: set[str]) -> None:
+        if tgt in body_locals:
+            return
+        if tgt in self.atomic_vars:
+            return
+        # Is the target reachable by reference from outside the lambda?
+        by_ref = False
+        if lam.cap_default == "&":
+            by_ref = tgt not in lam.val_caps
+        elif tgt in lam.ref_caps:
+            by_ref = True
+        elif (lam.caps_this or lam.cap_default == "&") and tgt.endswith("_"):
+            by_ref = True  # repo convention: trailing underscore = member
+        if not by_ref:
+            return
+        if sub is not None:
+            idx_ids = {s for s in sub}
+            if idx_ids & lam.params:
+                return  # indexed by the range argument: disjoint by contract
+            if idx_ids & body_locals:
+                # Indexed through a per-invocation local (derived from the
+                # range argument): accepted, documented heuristic.
+                return
+            detail = (f"writes '{tgt}[{' '.join(sub)}]' — index does not "
+                      "derive from the lambda's range parameter")
+        else:
+            detail = f"writes captured '{tgt}' with no per-range indexing"
+        self.facts.append(ParallelWriteFact(line=line, entry=entry,
+                                            target=tgt, detail=detail))
+
+    # ----------------------------------------------------------------- main
+    def run(self):
+        self._collect_decls()
+        self._collect_loops()
+        self._collect_lambda_defs()
+        toks = self.toks
+        seen_lambda_starts: set[int] = set()
+
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            nxt = toks[i + 1].text if i + 1 < self.n else ""
+            prev = toks[i - 1].text if i > 0 else ""
+            prev2 = toks[i - 2].text if i > 1 else ""
+
+            # ---- parallel entry points -----------------------------------
+            if t.text in PARALLEL_ENTRY_NAMES and nxt == "(":
+                close = match_forward(toks, i + 1, "(", ")")
+                for lo, hi in split_top_level(toks, i + 2, close, ","):
+                    if lo >= hi:
+                        continue
+                    if toks[lo].text == "[":
+                        lam = self._parse_lambda(lo)
+                        if lam is not None:
+                            seen_lambda_starts.add(lam.start)
+                            self._lambda_writes(lam, t.text)
+                    elif hi - lo == 1 and toks[lo].kind == "id":
+                        lam = self.lambda_defs.get(toks[lo].text)
+                        if lam is not None and lam.start not in seen_lambda_starts:
+                            seen_lambda_starts.add(lam.start)
+                            self._lambda_writes(lam, t.text)
+
+            # ---- wallclock -----------------------------------------------
+            if t.text in WALLCLOCK_TYPE_NAMES:
+                self.facts.append(WallclockFact(line=t.line, name=t.text))
+            elif t.text in WALLCLOCK_FN_NAMES and nxt == "(" and \
+                    prev not in (".", "->"):
+                # skip declarations/definitions: `int time(...)` style —
+                # preceded by a type keyword means this *declares* time.
+                if prev in _TYPE_KEYWORDS:
+                    pass
+                else:
+                    self.facts.append(WallclockFact(line=t.line, name=t.text))
+
+            # ---- rng seed derivations ------------------------------------
+            if t.text == "fork" and nxt == "(" and prev in ("::", ".", "->"):
+                self._rng_fact(i, "fork")
+            elif t.text == "reseed" and nxt == "(":
+                self._rng_fact(i, "reseed")
+            elif t.text == "Rng":
+                if nxt == "(":
+                    self._rng_fact(i, "Rng")
+                elif nxt and i + 2 < self.n and toks[i + 1].kind == "id":
+                    after = toks[i + 2].text
+                    if after in ("(", "{"):
+                        self._rng_fact(i + 1, "Rng")
+                    elif after == "=":
+                        # Rng r = <expr>; — scan the initializer expression,
+                        # unless it is itself a fork()/Rng() call (those
+                        # emit their own fact; don't double-report).
+                        end = i + 3
+                        depth = 0
+                        while end < self.n:
+                            tt = toks[end].text
+                            if tt in ("(", "[", "{"):
+                                depth += 1
+                            elif tt in (")", "]", "}"):
+                                depth -= 1
+                            elif tt == ";" and depth == 0:
+                                break
+                            end += 1
+                        init_ids = {toks[j].text for j in range(i + 3, end)
+                                    if toks[j].kind == "id"}
+                        if not init_ids & {"fork", "Rng", "reseed"}:
+                            self._rng_span_fact(i + 3, end, "Rng")
+
+            # ---- ported regex rules --------------------------------------
+            if t.text in ("rand", "srand") and (
+                    (prev == "::" and prev2 == "std") or
+                    (t.text == "srand" and nxt == "(")):
+                self.facts.append(BannedUseFact(t.line, "std-rand", t.text))
+            elif t.text == "random_device" and prev == "::" and prev2 == "std":
+                self.facts.append(BannedUseFact(t.line, "std-rand", t.text))
+            elif t.text == "new" and (nxt == "(" or (i + 1 < self.n and
+                                                     toks[i + 1].kind == "id")):
+                self.facts.append(BannedUseFact(t.line, "new", "new"))
+            elif t.text == "delete" and i + 1 < self.n and (
+                    toks[i + 1].kind == "id" or nxt == "["):
+                self.facts.append(BannedUseFact(t.line, "delete", "delete"))
+            elif t.text == "accumulate_weighted":
+                self.facts.append(
+                    BannedUseFact(t.line, "accumulate-weighted", t.text))
+            elif t.text == "compress" and nxt == "(" and prev in (".", "->"):
+                self.facts.append(
+                    BannedUseFact(t.line, "compress-call", t.text))
+
+            # ---- fp accumulation -----------------------------------------
+            if nxt == "+=":
+                self._fp_accum(i)
+
+        # `v[j] += ...` — the += follows a ']'; handle via a second pass
+        # over += tokens whose LHS ends in a subscript.
+        for k, t in enumerate(toks):
+            if t.text == "+=" and k > 0 and toks[k - 1].text == "]":
+                self._fp_accum_at_op(k)
+        self._emit_unordered()
+        return self.facts
+
+    def _rng_fact(self, i: int, callee: str) -> None:
+        """toks[i+1] == '(' (or '{'): argument list of a seed derivation."""
+        opener = self.toks[i + 1].text
+        closer = ")" if opener == "(" else "}"
+        close = match_forward(self.toks, i + 1, opener, closer)
+        self._rng_span_fact(i + 2, close, callee)
+
+    def _rng_span_fact(self, lo: int, hi: int, callee: str) -> None:
+        texts = []
+        address_of = False
+        for j in range(lo, hi):
+            t = self.toks[j]
+            texts.append(t.text)
+            if t.text == "&":
+                p = self.toks[j - 1].text if j > 0 else "("
+                if p in ("(", ",", "=", "+", "-", "*", "/", "return", "{"):
+                    address_of = True
+        if not texts:
+            return
+        line = self.toks[lo].line if lo < self.n else 0
+        self.facts.append(RngSeedFact(line=line, callee=callee,
+                                      arg_tokens=tuple(texts),
+                                      address_of=address_of))
+
+    def _fp_accum(self, i: int) -> None:
+        """toks[i] is the LHS ident directly before a `+=`."""
+        self._fp_accum_at_op(i + 1)
+
+    def _fp_accum_at_op(self, k: int) -> None:
+        toks = self.toks
+        tgt, sub, _ = self._lhs_chain(k)
+        if tgt is None:
+            return
+        if sub is None:
+            if tgt not in self.fp_scalars:
+                return
+        else:
+            if tgt not in self.fp_arrays and tgt not in self.fp_scalars:
+                return
+        encl = self._enclosing_loops(k)
+        if not encl:
+            return
+        inner = encl[0]
+        all_vars: set[str] = set()
+        for lp in encl:
+            all_vars |= lp.vars
+        # RHS token span: op+1 .. top-level ';'
+        rhs_ids: set[str] = set()
+        depth = 0
+        for j in range(k + 1, self.n):
+            tt = toks[j].text
+            if tt in ("(", "[", "{"):
+                depth += 1
+            elif tt in (")", "]", "}"):
+                depth -= 1
+            elif tt == ";" and depth <= 0:
+                break
+            if toks[j].kind == "id":
+                rhs_ids.add(tt)
+        declared_in_loop = False
+        for j in range(inner.body[0], k):
+            if (toks[j].text in ("double", "float") and j + 1 < self.n
+                    and toks[j + 1].text == tgt):
+                declared_in_loop = True
+                break
+        # Also: declared in the innermost loop header (fp loop counter).
+        for j in range(inner.header[0], inner.header[1]):
+            if (toks[j].text in ("double", "float") and j + 1 < self.n
+                    and toks[j + 1].text == tgt):
+                declared_in_loop = True
+        self.facts.append(FpAccumulationFact(
+            line=toks[k].line,
+            lhs=tgt,
+            loop_kind=inner.kind,
+            rhs_uses_loop_var=bool(rhs_ids & all_vars),
+            lhs_declared_in_loop=declared_in_loop,
+            lhs_indexed_by_loop_var=bool(sub) and bool(set(sub) & all_vars),
+        ))
+
+    # -------------------------------------------------------- unordered ----
+    def _emit_unordered(self) -> None:
+        toks = self.toks
+        for lp in self.loops:
+            if lp.kind != "range":
+                continue
+            colon = self._top_level_colon(lp.header)
+            if colon < 0:
+                continue
+            iterable_ids = {toks[j].text
+                            for j in range(colon + 1, lp.header[1])
+                            if toks[j].kind == "id"}
+            hit = iterable_ids & self.unordered_vars
+            if hit:
+                self.facts.append(UnorderedIterationFact(
+                    line=lp.line, container=sorted(hit)[0]))
+        # Explicit iterator walks: `x.begin()` on an unordered container.
+        for i, t in enumerate(toks):
+            if (t.text in ("begin", "cbegin") and i >= 2
+                    and toks[i - 1].text in (".", "->")
+                    and toks[i - 2].text in self.unordered_vars
+                    and i + 1 < self.n and toks[i + 1].text == "("):
+                self.facts.append(UnorderedIterationFact(
+                    line=t.line, container=toks[i - 2].text))

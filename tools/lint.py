@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
-"""Project-specific lint rules that clang-tidy cannot express.
+"""Textual lint rules that need no parse: include hygiene + NOLINT policy.
 
 Run from the repository root (CI does):  python3 tools/lint.py
+Catalog:                                 python3 tools/lint.py --list-rules
 
-Rules, each tied to a repo invariant:
-
-  no-std-rand       std::rand / srand / std::random_device outside
-                    src/util/rng.*: every random draw must flow through
-                    util::Rng so runs are reproducible from one seed (the
-                    determinism test hashes parameter vectors on exactly
-                    this assumption).
+Semantic rules (no-std-rand, no-naked-new, aggregation-in-seam,
+compression-in-seam, and the determinism/concurrency invariants) moved
+to the token/AST analyzer — `python3 tools/analyze` (fedvr-analyze) —
+which matches call expressions instead of regexes and so stopped the
+false-positive classes a line regex cannot avoid (identifiers containing
+'new', compress() on non-Compressor types, ...). What stays here is
+exactly what a *line* can decide without a parse:
 
   no-iostream-in-headers
                     <iostream> in a header pulls the global ios_base::Init
@@ -22,24 +23,12 @@ Rules, each tied to a repo invariant:
                     interfaces means -DFEDVR_OBS_DISABLED rebuilds touch
                     only leaf objects, and no public API depends on it.
 
-  no-naked-new      `new` / `delete` outside make_unique/make_shared: all
-                    ownership in this codebase is RAII (unique_ptr /
-                    vector); a naked new is either a leak or a smell.
-
-  aggregation-in-seam
-                    tensor::accumulate_weighted — the line-12 weighted-
-                    average primitive — outside src/fl/aggregation.* (or its
-                    definition in src/tensor/vecops.*): server-side update
-                    aggregation must flow through the fl::Aggregator seam so
-                    the Byzantine defenses (rejection, quarantine, robust
-                    rules) cannot be bypassed by a hand-rolled average.
-
-  compression-in-seam
-                    Compressor::compress() calls outside src/comm/: uplink
-                    compression must flow through comm::Channel, which owns
-                    the error-feedback recursion and measures wire bytes
-                    from serialized messages. A raw compress() call silently
-                    drops both (the convergence fix AND the accounting).
+  nolint-needs-reason
+                    clang-tidy suppressions must be scoped and justified:
+                    `NOLINT(check-name) -- why` (or NOLINTNEXTLINE /
+                    NOLINTBEGIN). A bare NOLINT silences *every* check on
+                    the line forever and reviews cannot tell why it is
+                    there. Same policy as the analyzer's lint:allow tags.
 
 False positives are silenced with `// lint:allow(<rule>) <why>` on the
 offending line or the line directly above it — the justification is
@@ -60,15 +49,15 @@ CPP_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
 
 ALLOW = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s+\S")
 
+# NOLINT with a (check) scope and a trailing justification is fine;
+# anything else NOLINT-shaped is a violation.
+NOLINT_ANY = re.compile(r"\bNOLINT(NEXTLINE|BEGIN|END)?\b")
+NOLINT_JUSTIFIED = re.compile(
+    r"\bNOLINT(?:NEXTLINE|BEGIN)?\([\w.-]+(?:\s*,\s*[\w.-]+)*\)\s*--\s*\S"
+    r"|\bNOLINTEND\b")
+
 # (rule, pattern, file-filter, message)
 RULES = [
-    (
-        "no-std-rand",
-        re.compile(r"\b(std::rand\b|std::srand\b|\bsrand\s*\(|std::random_device\b)"),
-        lambda p: not (p.parent == SRC / "util" and p.stem == "rng"),
-        "random draws must go through util::Rng (seeded, fork-able) "
-        "so training runs stay reproducible",
-    ),
     (
         "no-iostream-in-headers",
         re.compile(r'#\s*include\s*<iostream>'),
@@ -85,40 +74,14 @@ RULES = [
         "from .cpp files only",
     ),
     (
-        "no-naked-new",
-        re.compile(r"(?<![:\w])new\s+[A-Za-z_:][\w:<>, ]*[({\[]|\bdelete\s+\w|\bdelete\[\]"),
+        "nolint-needs-reason",
+        NOLINT_ANY,
         lambda p: True,
-        "no naked new/delete; use std::make_unique / std::make_shared "
-        "or a container",
-    ),
-    (
-        "aggregation-in-seam",
-        re.compile(r"\baccumulate_weighted\b"),
-        lambda p: not (
-            (p.parent == SRC / "fl" and p.stem == "aggregation")
-            or (p.parent == SRC / "tensor" and p.stem == "vecops")
-        ),
-        "line-12 weighted averaging belongs behind the fl::Aggregator seam "
-        "(src/fl/aggregation.*); hand-rolled averages bypass the server's "
-        "Byzantine defenses",
-    ),
-    (
-        "compression-in-seam",
-        re.compile(r"(\.|->)\s*compress\s*\("),
-        lambda p: (SRC / "comm") not in p.parents and p.parent != SRC / "comm",
-        "uplink compression belongs behind the comm::Channel seam "
-        "(src/comm/channel.*): a raw Compressor::compress() call skips "
-        "error feedback and the measured wire-byte accounting",
+        "NOLINT must name its check and reason: "
+        "`NOLINT(check-name) -- why` (NOLINTEND closes a justified "
+        "NOLINTBEGIN and needs no reason of its own)",
     ),
 ]
-
-COMMENT_OR_STRING = re.compile(r'//.*$|"(?:[^"\\]|\\.)*"')
-
-
-def strippable(line: str) -> str:
-    """Blanks out comments and string literals so rules match only code."""
-    return COMMENT_OR_STRING.sub(lambda m: " " * len(m.group(0)), line)
-
 
 def lint_file(path: Path) -> list[str]:
     errors = []
@@ -129,14 +92,14 @@ def lint_file(path: Path) -> list[str]:
     ):
         allow = ALLOW.search(raw) or prev_allow
         prev_allow = ALLOW.search(raw)
-        code = strippable(raw)
         for rule, pattern, applies, message in RULES:
             if not applies(path):
                 continue
-            # Include rules must look at the raw line (the pattern IS the
-            # directive); code rules look at comment/string-stripped text.
-            haystack = raw if pattern.pattern.startswith("#") else code
-            if not pattern.search(haystack):
+            # Every remaining rule targets directives or comments, so the
+            # raw line is the haystack (no comment/string stripping).
+            if not pattern.search(raw):
+                continue
+            if rule == "nolint-needs-reason" and NOLINT_JUSTIFIED.search(raw):
                 continue
             if allow and allow.group(1) == rule:
                 continue
@@ -144,7 +107,16 @@ def lint_file(path: Path) -> list[str]:
     return errors
 
 
+def list_rules() -> str:
+    width = max(len(rule) for rule, *_ in RULES)
+    return "\n".join(f"{rule.ljust(width)}  {message}"
+                     for rule, _, _, message in RULES)
+
+
 def main() -> int:
+    if "--list-rules" in sys.argv[1:]:
+        print(list_rules())
+        return 0
     files = sorted(
         p
         for p in SRC.rglob("*")
