@@ -1,0 +1,144 @@
+// End-to-end round throughput for the federated engines: full training
+// rounds on the paper's Synthetic federation with a logistic-regression
+// model, reported as device activations/s and local updates/s, plus the
+// arena heap traffic per round — the observable behind the zero-allocation
+// claim (allocs_per_round stays ~0 once the per-thread arenas and the
+// per-device solver workspaces are warm).
+//
+// Snapshot with tools/bench_json.py --binary build/bench/micro_rounds
+// --out BENCH_rounds.json.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+
+#include "core/proxskip.h"
+#include "data/synthetic.h"
+#include "fl/trainer.h"
+#include "nn/models.h"
+#include "opt/local_solver.h"
+#include "tensor/arena.h"
+
+namespace {
+
+using namespace fedvr;
+
+constexpr std::size_t kDevices = 12;
+constexpr std::size_t kDim = 60;       // FedProx Synthetic feature dim
+constexpr std::size_t kClasses = 10;
+constexpr std::size_t kTau = 10;       // inner iterations per round
+constexpr std::size_t kBatch = 8;
+constexpr std::size_t kRounds = 5;     // global rounds per timed run
+
+data::FederatedDataset synthetic_fed() {
+  data::SyntheticConfig cfg;
+  cfg.num_devices = kDevices;
+  cfg.dim = kDim;
+  cfg.num_classes = kClasses;
+  cfg.min_samples = 40;
+  cfg.max_samples = 160;
+  cfg.seed = 5;
+  return data::make_synthetic(cfg);
+}
+
+opt::LocalSolverOptions solver_options() {
+  opt::LocalSolverOptions o;
+  o.estimator = opt::Estimator::kSvrg;
+  o.tau = kTau;
+  o.eta = 0.05;
+  o.mu = 0.1;
+  o.batch_size = kBatch;
+  return o;
+}
+
+// Shared skeleton: one warm run primes the thread-pool arenas and the
+// trainer's workspace pool outside the timing loop, then the heap-event
+// delta across the timed runs is charged per round.
+void run_trainer_bench(benchmark::State& state, const fl::TrainerOptions& topts,
+                       std::size_t updates_per_activation) {
+  const auto fed = synthetic_fed();
+  const auto model = nn::make_logistic_regression(kDim, kClasses);
+  const fl::Trainer trainer(model, fed, topts);
+  const opt::LocalSolver solver(model, solver_options());
+  (void)trainer.run(solver, "warm");
+  const std::uint64_t heap_before = tensor::arena_heap_events();
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto trace = trainer.run(solver, "bench");
+    benchmark::DoNotOptimize(trace.final_param_hash);
+    ++runs;
+  }
+  const double rounds = static_cast<double>(runs * kRounds);
+  const double activations = rounds * static_cast<double>(kDevices);
+  state.counters["devices_per_second"] =
+      benchmark::Counter(activations, benchmark::Counter::kIsRate);
+  state.counters["updates_per_second"] = benchmark::Counter(
+      activations * static_cast<double>(updates_per_activation),
+      benchmark::Counter::kIsRate);
+  state.counters["allocs_per_round"] =
+      static_cast<double>(tensor::arena_heap_events() - heap_before) / rounds;
+}
+
+// FedProxVR (Algorithm 1, kSvrg): the paper's main engine.
+void BM_RoundFedProxVR(benchmark::State& state) {
+  fl::TrainerOptions topts;
+  topts.rounds = kRounds;
+  topts.seed = 3;
+  topts.eval_every = kRounds;  // one metric pass per run, not per round
+  run_trainer_bench(state, topts, kTau);
+}
+BENCHMARK(BM_RoundFedProxVR)->Unit(benchmark::kMillisecond);
+
+// Same engine with the fault stack on: crashes, stragglers, lossy uplinks
+// and corruption, exercising survivor reweighting and server-side
+// validation on every round.
+void BM_RoundFedProxVRFaults(benchmark::State& state) {
+  fl::TrainerOptions topts;
+  topts.rounds = kRounds;
+  topts.seed = 3;
+  topts.eval_every = kRounds;
+  fl::FaultModelConfig faults;
+  faults.dropout_prob = 0.1;
+  faults.straggler_prob = 0.2;
+  faults.uplink_loss_prob = 0.05;
+  faults.corrupt_prob = 0.05;
+  topts.faults = fl::FaultModel(faults);
+  run_trainer_bench(state, topts, kTau);
+}
+BENCHMARK(BM_RoundFedProxVRFaults)->Unit(benchmark::kMillisecond);
+
+// ProxSkip-VR (eq. 19): one local SVRG step per device per iteration, with
+// ~skip_prob of the iterations communicating. An "activation" here is one
+// device-iteration; updates == activations (tau = 1).
+void BM_RoundProxSkipVR(benchmark::State& state) {
+  const auto fed = synthetic_fed();
+  const auto model = nn::make_logistic_regression(kDim, kClasses);
+  core::ProxSkipVROptions opts;
+  opts.iterations = kRounds * kTau;  // comparable local-step budget
+  opts.seed = 3;
+  opts.step_size = 0.05;
+  opts.skip_prob = 0.2;
+  opts.batch_size = kBatch;
+  opts.eval_every = opts.iterations;
+  (void)core::run_proxskip_vr(model, fed, opts, "warm");
+  const std::uint64_t heap_before = tensor::arena_heap_events();
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto trace = core::run_proxskip_vr(model, fed, opts, "bench");
+    benchmark::DoNotOptimize(trace.final_param_hash);
+    ++runs;
+  }
+  const double iters = static_cast<double>(runs * opts.iterations);
+  const double activations = iters * static_cast<double>(kDevices);
+  state.counters["devices_per_second"] =
+      benchmark::Counter(activations, benchmark::Counter::kIsRate);
+  state.counters["updates_per_second"] =
+      benchmark::Counter(activations, benchmark::Counter::kIsRate);
+  state.counters["allocs_per_round"] =
+      static_cast<double>(tensor::arena_heap_events() - heap_before) / iters;
+}
+BENCHMARK(BM_RoundProxSkipVR)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

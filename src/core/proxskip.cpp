@@ -7,6 +7,7 @@
 
 #include "check/check.h"
 #include "fl/trainer.h"
+#include "opt/workspace.h"
 #include "tensor/vecops.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -63,18 +64,30 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
     anchor = model->initial_parameters(init_rng);
   }
 
-  // Per-device state. Each slot is touched only from its own device's
-  // parallel_for index (determinism contract).
-  std::vector<std::vector<double>> x(num_devices, anchor);   // local iterates
-  std::vector<std::vector<double>> h(num_devices,
-                                     std::vector<double>(dim, 0.0));
-  std::vector<std::vector<double>> anchor_grad(
-      num_devices, std::vector<double>(dim, 0.0));  // ∇F_n(anchor), SVRG
-  std::vector<std::vector<double>> uploads(num_devices,
-                                           std::vector<double>(dim, 0.0));
+  // Per-device state in flat num_devices×dim slabs: one allocation each for
+  // the whole run instead of num_devices heap vectors per array, and
+  // device n's view is a subspan. Each view is touched only from its own
+  // device's parallel_for index (determinism contract).
+  std::vector<double> x_slab(num_devices * dim);  // local iterates
+  for (std::size_t n = 0; n < num_devices; ++n) {
+    std::copy(anchor.begin(), anchor.end(),
+              x_slab.begin() + static_cast<std::ptrdiff_t>(n * dim));
+  }
+  std::vector<double> h_slab(num_devices * dim, 0.0);  // control variates
+  std::vector<double> anchor_grad_slab(num_devices * dim,
+                                       0.0);  // ∇F_n(anchor), SVRG
+  std::vector<double> uploads_slab(num_devices * dim, 0.0);
+  const auto device_view = [dim](std::vector<double>& slab, std::size_t n) {
+    return std::span<double>(slab).subspan(n * dim, dim);
+  };
   std::vector<std::size_t> realized_uplink(num_devices, 0);
   std::vector<std::size_t> grad_evals(num_devices, 0);  // cumulative
   std::vector<fl::FaultEvent> events(num_devices);
+
+  // Pooled per-iteration solver scratch (batch indices, the two SVRG
+  // gradients): leased per device activation, so the inner loop allocates
+  // nothing once the pool is warm.
+  opt::WorkspacePool ws_pool;
 
   comm::Channel channel(options.comm, num_devices, dim);
   const bool byte_timing = options.comm.byte_timing;
@@ -85,7 +98,7 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
   const bool run_parallel = options.parallel && pool.size() > 1;
 
   const auto refresh_anchor_gradients = [&](std::size_t n) {
-    model->full_gradient(anchor, fed.train[n], anchor_grad[n]);
+    model->full_gradient(anchor, fed.train[n], device_view(anchor_grad_slab, n));
     grad_evals[n] += fed.train[n].size();
   };
   const auto for_each_device = [&](const std::function<void(std::size_t)>& f) {
@@ -114,7 +127,7 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
   const auto virtual_average = [&]() {
     tensor::fill(xbar, 0.0);
     for (std::size_t n = 0; n < num_devices; ++n) {
-      tensor::axpy(fed.weight(n), x[n], xbar);
+      tensor::axpy(fed.weight(n), device_view(x_slab, n), xbar);
     }
   };
   const auto record = [&](std::size_t t, double realized_round_time) {
@@ -140,6 +153,11 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
   if (options.eval_initial) record(0, 0.0);
 
   std::vector<double> x_next(dim, 0.0);
+  // Head-round survivor bookkeeping, hoisted so capacity is reused.
+  std::vector<std::size_t> survivors;
+  std::vector<double> survivor_weights;
+  survivors.reserve(num_devices);
+  survivor_weights.reserve(num_devices);
   bool target_reached = false;
 
   for (std::size_t t = 1; t <= options.iterations && !target_reached; ++t) {
@@ -160,29 +178,40 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
       const std::size_t batch = std::min(options.batch_size, ds.size());
       util::Rng rng = util::fork(options.seed, n + 1, t,
                                  util::stream::kSampling);
-      std::vector<std::size_t> idx(batch);
+      const opt::WorkspacePool::Lease lease(ws_pool);
+      opt::SolverWorkspace& ws = *lease;
+      std::vector<std::size_t>& idx = ws.batch;
+      // lint:allow(no-alloc-in-hot-loop) no-op once the pooled workspace is warm
+      idx.resize(batch);
       for (auto& i : idx) i = rng.below(ds.size());
 
       // SVRG estimator: ∇f_B(x_n) − ∇f_B(anchor) + ∇F_n(anchor), with the
       // same minibatch at both points (eq. 8b).
-      std::vector<double> g(dim), g_anchor(dim);
-      model->loss_and_gradient(x[n], ds, idx, g);
+      std::vector<double>& g = ws.grad_curr;
+      // lint:allow(no-alloc-in-hot-loop) no-op once the pooled workspace is warm
+      g.resize(dim);
+      std::vector<double>& g_anchor = ws.grad_ref;
+      // lint:allow(no-alloc-in-hot-loop) no-op once the pooled workspace is warm
+      g_anchor.resize(dim);
+      const std::span<double> xn = device_view(x_slab, n);
+      const std::span<const double> hn = device_view(h_slab, n);
+      const std::span<const double> agn = device_view(anchor_grad_slab, n);
+      model->loss_and_gradient(xn, ds, idx, g);
       model->loss_and_gradient(anchor, ds, idx, g_anchor);
       grad_evals[n] += 2 * batch;
       // v = g − g_anchor + anchor_grad; x̂ = x − γ(v − h), written in place.
-      std::span<double> xn(x[n]);
       for (std::size_t i = 0; i < dim; ++i) {
-        const double v = g[i] - g_anchor[i] + anchor_grad[n][i];
-        xn[i] -= gamma * (v - h[n][i]);
+        const double v = g[i] - g_anchor[i] + agn[i];
+        xn[i] -= gamma * (v - hn[i]);
       }
 
       if (communicate && !events[n].uplink_failed) {
         // Proposal y_n = x̂_n − (γ/p) h_n, uploaded as a delta against the
         // shared anchor so sparsification/quantization compress the small
         // innovation, not the full model.
-        std::span<double> up(uploads[n]);
+        const std::span<double> up = device_view(uploads_slab, n);
         for (std::size_t i = 0; i < dim; ++i) {
-          up[i] = xn[i] - gamma_over_p * h[n][i] - anchor[i];
+          up[i] = xn[i] - gamma_over_p * hn[i] - anchor[i];
         }
         util::Rng comm_rng =
             util::fork(options.seed, n + 1, t, util::stream::kComm);
@@ -221,8 +250,8 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
         total_uplink_bytes += events[n].uplink_attempts() * per_attempt;
       }
 
-      std::vector<std::size_t> survivors;
-      std::vector<double> survivor_weights;
+      survivors.clear();
+      survivor_weights.clear();
       for (std::size_t n = 0; n < num_devices; ++n) {
         if (!events[n].delivers_update()) continue;
         survivors.push_back(n);
@@ -237,18 +266,19 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
         // ascending device order (determinism contract).
         tensor::copy(anchor, x_next);
         for (const std::size_t n : survivors) {
-          tensor::axpy(fed.weight(n) / weight_sum, uploads[n], x_next);
+          tensor::axpy(fed.weight(n) / weight_sum,
+                       device_view(uploads_slab, n), x_next);
         }
         // Reliable downlink: every device adopts the consensus and updates
         // its control variate against its own x̂ (a crashed device's x̂ is
         // its unchanged x_n).
         for_each_device([&](std::size_t n) {
-          std::span<double> hn(h[n]);
-          std::span<const double> xn(x[n]);
+          const std::span<double> hn = device_view(h_slab, n);
+          const std::span<double> xn = device_view(x_slab, n);
           for (std::size_t i = 0; i < dim; ++i) {
             hn[i] += p_over_gamma * (x_next[i] - xn[i]);
           }
-          tensor::copy(x_next, x[n]);
+          tensor::copy(x_next, xn);
         });
         tensor::copy(x_next, anchor);
         // Refresh the SVRG anchor gradients at the new consensus.

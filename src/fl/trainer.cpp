@@ -7,6 +7,7 @@
 
 #include "check/check.h"
 #include "obs/obs.h"
+#include "opt/workspace.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -269,12 +270,27 @@ TrainingTrace Trainer::run_impl(
   std::vector<std::size_t> quarantined_until(num_devices, 0);
 
   // Round-scoped scratch, hoisted out of the loop: the pre-defense global
-  // model w̄^(s-1) (the aggregation anchor and norm-bound reference) and the
-  // accepted-update views handed to the aggregator.
+  // model w̄^(s-1) (the aggregation anchor and norm-bound reference), the
+  // accepted-update views handed to the aggregator, and the participation
+  // bookkeeping vectors — all keep their capacity across rounds, so a
+  // steady-state round allocates nothing here.
   std::vector<double> w_prev(dim);
   std::vector<std::size_t> accepted;
   std::vector<std::span<const double>> update_views;
   std::vector<double> update_weights;
+  // Optional client sampling (FedAvg practicality; off for the paper's
+  // experiments, which use full participation).
+  std::vector<std::size_t> participants;
+  // Indices into `participants` whose update reaches the server in time
+  // each round — the devices line-12 aggregation averages over.
+  std::vector<std::size_t> survivors;
+  std::vector<FaultEvent> events;
+
+  // Per-device solver workspaces, one per peak-concurrent activation:
+  // every inner-loop buffer (iterates, estimator directions, batch
+  // indices, the uplink delta) is acquired once and reused across local
+  // epochs and rounds, so steady-state solves are allocation-free.
+  opt::WorkspacePool ws_pool;
 
   for (std::size_t s = 1; s <= options_.rounds; ++s) {
     profiler.begin_round(s, num_devices);
@@ -285,13 +301,8 @@ TrainingTrace Trainer::run_impl(
     {
       OBS_SPAN("round");
 
-      // Optional client sampling (FedAvg practicality; off for the paper's
-      // experiments, which use full participation).
-      std::vector<std::size_t> participants;
-      // Indices into `participants` whose update reaches the server in time
-      // this round — the devices line-12 aggregation averages over.
-      std::vector<std::size_t> survivors;
-      std::vector<FaultEvent> events;
+      participants.clear();
+      survivors.clear();
       // Realized synchronous-barrier time of this round: max over reporting
       // participants' fault-adjusted times, capped by the deadline.
       double realized_round_time = 0.0;
@@ -426,15 +437,17 @@ TrainingTrace Trainer::run_impl(
         const std::uint64_t solve_start = obs_on ? obs::now_ns() : 0;
         util::Rng rng = util::fork(options_.seed, device + 1, s,
                                    util::stream::kSampling);
-        auto result =
-            solver_for(device).solve(fed_.train[device], w_global, rng);
-        locals[device] = std::move(result.w);
+        const opt::WorkspacePool::Lease lease(ws_pool);
+        opt::SolverWorkspace& ws = *lease;
+        const auto result = solver_for(device).solve(
+            fed_.train[device], w_global, rng, ws, locals[device]);
         if (channel_transforms) {
           // Uplink the update delta through the comm seam (error feedback,
           // compression, wire encode/decode); the server reconstructs
           // anchor + decoded delta. Compressor calls outside comm::Channel
           // are a lint error (compression-in-seam).
-          std::vector<double> delta(dim);
+          std::vector<double>& delta = ws.delta;
+          delta.resize(dim);
           tensor::sub(locals[device], w_global, delta);
           util::Rng comm_rng =
               util::fork(options_.seed, device + 1, s, util::stream::kComm);

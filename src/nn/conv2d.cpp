@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/kernels.h"
 #include "tensor/random_init.h"
 #include "tensor/vecops.h"
@@ -54,8 +55,8 @@ void Conv2dLayer::forward(std::span<const double> w, std::size_t batch,
   // (caching columns for every sample at once would cost
   // batch*col_rows*pixels doubles — tens of MB for the paper's CNN).
   util::ThreadPool::global().parallel_for(0, batch, [&](std::size_t s) {
-    thread_local std::vector<double> cols;
-    tensor::scratch_resize(cols, col_rows * pixels);
+    tensor::Workspace ws(tensor::scratch_arena());
+    auto cols = ws.alloc<double>(col_rows * pixels);
     const auto image = x.subspan(s * in_size(), in_size());
     auto out = y.subspan(s * out_size(), out_size());
     tensor::im2col(geometry_, image, cols);
@@ -90,17 +91,24 @@ void Conv2dLayer::backward(std::span<const double> w, std::size_t batch,
   // kGradBlock-sample block accumulates into its own partial buffer in
   // parallel; the partials are then reduced serially in ascending block
   // order, so the floating-point reduction tree never depends on thread
-  // scheduling.
+  // scheduling. The dW partials are kept transposed (col_rows x oc): that
+  // GEMM shape packs cols without a strided transpose pass and benchmarks
+  // faster than the (oc x col_rows) form at the paper's layer shapes; the
+  // partials are folded back with add_transposed in the serial reduce.
   const std::size_t nblocks = (batch + kGradBlock - 1) / kGradBlock;
   const std::size_t wsize = out_channels_ * col_rows;
-  const std::size_t psize = wsize + out_channels_;  // dW partial + db partial
-  std::vector<double> partials(nblocks * psize, 0.0);
+  const std::size_t psize = wsize + out_channels_;  // dW^T partial + db partial
+  tensor::Workspace ws(tensor::scratch_arena());
+  auto partials = ws.alloc_zeroed<double>(nblocks * psize);
+  // W^T materialized once so every d_cols GEMM reads unit-stride operands
+  // instead of re-packing the transposed weights per sample.
+  auto wt = ws.alloc<double>(col_rows * out_channels_);
+  tensor::transpose(out_channels_, col_rows, weights, wt);
 
   util::ThreadPool::global().parallel_for(0, nblocks, [&](std::size_t blk) {
-    thread_local std::vector<double> cols;
-    thread_local std::vector<double> d_cols;
-    tensor::scratch_resize(cols, col_rows * pixels);
-    tensor::scratch_resize(d_cols, col_rows * pixels);
+    tensor::Workspace wws(tensor::scratch_arena());
+    auto cols = wws.alloc<double>(col_rows * pixels);
+    auto d_cols = wws.alloc<double>(col_rows * pixels);
     auto pw = std::span<double>(partials).subspan(blk * psize, wsize);
     auto pb = std::span<double>(partials).subspan(blk * psize + wsize,
                                                   out_channels_);
@@ -110,33 +118,28 @@ void Conv2dLayer::backward(std::span<const double> w, std::size_t batch,
       const auto d_out = dy.subspan(s * out_size(), out_size());
       auto d_image = dx.subspan(s * in_size(), in_size());
 
-      // pw (oc x col_rows) += d_out (oc x pixels) * cols^T (pixels x
-      // col_rows)
+      // pw (col_rows x oc) += cols (col_rows x pixels) * d_out^T (pixels x
+      // oc)
       tensor::im2col(geometry_, image, cols);
-      tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kYes,
-                          out_channels_, col_rows, pixels, 1.0, d_out, cols,
-                          1.0, pw);
-      // pb[oc] += sum over pixels of d_out(oc, .)
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const double* plane = d_out.data() + oc * pixels;
-        double acc = 0.0;
-        for (std::size_t p = 0; p < pixels; ++p) acc += plane[p];
-        pb[oc] += acc;
-      }
+      tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kYes, col_rows,
+                          out_channels_, pixels, 1.0, cols, d_out, 1.0, pw);
+      // pb[oc] += sum over pixels of d_out(oc, .), per sample in ascending
+      // order.
+      tensor::add_row_sums(out_channels_, pixels, d_out, pb);
       // d_cols (col_rows x pixels) = W^T (col_rows x oc) * d_out (oc x
       // pixels)
-      tensor::gemm_packed(tensor::Trans::kYes, tensor::Trans::kNo, col_rows,
-                          pixels, out_channels_, 1.0, weights, d_out, 0.0,
-                          d_cols);
+      tensor::gemm_packed(tensor::Trans::kNo, tensor::Trans::kNo, col_rows,
+                          pixels, out_channels_, 1.0, wt, d_out, 0.0, d_cols);
       tensor::fill(d_image, 0.0);
       tensor::col2im(geometry_, d_cols, d_image);
     }
   });
 
   for (std::size_t blk = 0; blk < nblocks; ++blk) {
-    const auto part = std::span<const double>(partials)
-                          .subspan(blk * psize, psize);
-    tensor::axpy(1.0, part.subspan(0, wsize), d_weights);
+    const auto part =
+        std::span<const double>(partials).subspan(blk * psize, psize);
+    tensor::add_transposed(out_channels_, col_rows, part.subspan(0, wsize),
+                           d_weights);
     tensor::axpy(1.0, part.subspan(wsize, out_channels_), d_bias);
   }
 }

@@ -10,6 +10,29 @@
 
 namespace fedvr::nn {
 
+namespace {
+
+// Per-thread evaluation scratch: the Sequential workspace plus every gather
+// / gradient staging buffer loss(), loss_and_gradient() and predict() need.
+// One model evaluation allocates these tens of times per local epoch;
+// thread_local reuse makes repeat evaluations allocation-free in steady
+// state (vector capacity is retained across calls). Safe because model
+// evaluation never re-enters model code on the same thread.
+struct EvalScratch {
+  Sequential::Workspace ws;
+  std::vector<double> xbuf;
+  std::vector<int> ybuf;
+  std::vector<double> d_logits;
+  std::vector<double> chunk_grad;
+};
+
+EvalScratch& eval_scratch() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 FeedForwardModel::FeedForwardModel(std::shared_ptr<const Sequential> net,
                                    double l2_reg, std::size_t max_chunk)
     : net_(std::move(net)), l2_reg_(l2_reg), max_chunk_(max_chunk) {
@@ -45,9 +68,10 @@ double FeedForwardModel::loss(std::span<const double> w,
                               std::span<const std::size_t> indices) const {
   FEDVR_CHECK(w.size() == num_parameters());
   FEDVR_CHECK(!indices.empty());
-  Sequential::Workspace ws;
-  std::vector<double> xbuf;
-  std::vector<int> ybuf;
+  EvalScratch& scratch = eval_scratch();
+  Sequential::Workspace& ws = scratch.ws;
+  std::vector<double>& xbuf = scratch.xbuf;
+  std::vector<int>& ybuf = scratch.ybuf;
   double weighted = 0.0;
   for (std::size_t start = 0; start < indices.size(); start += max_chunk_) {
     const std::size_t count = std::min(max_chunk_, indices.size() - start);
@@ -68,11 +92,13 @@ double FeedForwardModel::loss_and_gradient(
   FEDVR_CHECK(grad.size() == num_parameters());
   FEDVR_CHECK(!indices.empty());
   tensor::fill(grad, 0.0);
-  Sequential::Workspace ws;
-  std::vector<double> xbuf;
-  std::vector<int> ybuf;
-  std::vector<double> d_logits;
-  std::vector<double> chunk_grad(num_parameters());
+  EvalScratch& scratch = eval_scratch();
+  Sequential::Workspace& ws = scratch.ws;
+  std::vector<double>& xbuf = scratch.xbuf;
+  std::vector<int>& ybuf = scratch.ybuf;
+  std::vector<double>& d_logits = scratch.d_logits;
+  std::vector<double>& chunk_grad = scratch.chunk_grad;
+  chunk_grad.resize(num_parameters());
   double weighted = 0.0;
   for (std::size_t start = 0; start < indices.size(); start += max_chunk_) {
     const std::size_t count = std::min(max_chunk_, indices.size() - start);
@@ -106,9 +132,10 @@ void FeedForwardModel::predict(std::span<const double> w,
                                std::span<std::size_t> out) const {
   FEDVR_CHECK(w.size() == num_parameters());
   FEDVR_CHECK(out.size() == indices.size());
-  Sequential::Workspace ws;
-  std::vector<double> xbuf;
-  std::vector<int> ybuf;
+  EvalScratch& scratch = eval_scratch();
+  Sequential::Workspace& ws = scratch.ws;
+  std::vector<double>& xbuf = scratch.xbuf;
+  std::vector<int>& ybuf = scratch.ybuf;
   for (std::size_t start = 0; start < indices.size(); start += max_chunk_) {
     const std::size_t count = std::min(max_chunk_, indices.size() - start);
     gather(ds, indices.subspan(start, count), xbuf, ybuf);

@@ -14,11 +14,17 @@ namespace fedvr::opt {
 namespace {
 
 // Draws inner-loop mini-batches under either sampling scheme. A batch that
-// covers the dataset degenerates to the deterministic full batch.
+// covers the dataset degenerates to the deterministic full batch. The
+// permutation buffer is caller-owned (SolverWorkspace) so repeat solves
+// reuse its capacity.
 class BatchSampler {
  public:
-  BatchSampler(Sampling mode, std::size_t n, std::size_t batch_size)
-      : mode_(mode), n_(n), batch_size_(std::min(batch_size, n)) {
+  BatchSampler(Sampling mode, std::size_t n, std::size_t batch_size,
+               std::vector<std::size_t>& permutation)
+      : mode_(mode),
+        n_(n),
+        batch_size_(std::min(batch_size, n)),
+        permutation_(permutation) {
     if (mode_ == Sampling::kShuffledEpochs && batch_size_ < n_) {
       permutation_.resize(n_);
       std::iota(permutation_.begin(), permutation_.end(), 0);
@@ -49,7 +55,7 @@ class BatchSampler {
   Sampling mode_;
   std::size_t n_;
   std::size_t batch_size_;
-  std::vector<std::size_t> permutation_;
+  std::vector<std::size_t>& permutation_;
   std::size_t cursor_ = 0;
 };
 
@@ -73,12 +79,29 @@ LocalSolver::LocalSolver(std::shared_ptr<const nn::Model> model,
 LocalSolverResult LocalSolver::solve(const data::Dataset& train,
                                      std::span<const double> anchor,
                                      util::Rng& rng) const {
+  SolverWorkspace ws;
+  std::vector<double> w;
+  LocalSolverResult result = solve(train, anchor, rng, ws, w);
+  result.w = std::move(w);
+  return result;
+}
+
+LocalSolverResult LocalSolver::solve(const data::Dataset& train,
+                                     std::span<const double> anchor,
+                                     util::Rng& rng, SolverWorkspace& ws,
+                                     std::vector<double>& w_out) const {
   const std::size_t dim = model_->num_parameters();
   FEDVR_CHECK_SHAPE(anchor.size(), dim);
   FEDVR_CHECK_MSG(!train.empty(), "device has no training data");
   FEDVR_CHECK_FINITE(anchor, "solver anchor w^(0)");
   const std::size_t n = train.size();
-  const auto full_idx = nn::all_indices(n);
+  // full_idx is always the identity permutation; skip the refill when the
+  // workspace already holds it for this dataset size.
+  std::vector<std::size_t>& full_idx = ws.full_idx;
+  if (full_idx.size() != n) {
+    full_idx.resize(n);
+    std::iota(full_idx.begin(), full_idx.end(), 0);
+  }
 
   OBS_SPAN("solver.solve");
   LocalSolverResult result;
@@ -99,39 +122,50 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
           : options_.tau + 1;  // sentinel: never snapshot, keep last
 
   // Line 3-4: w^(0) = anchor, v^(0) = full local gradient at the anchor.
-  std::vector<double> w_prev(anchor.begin(), anchor.end());
-  std::vector<double> v(dim);
+  std::vector<double>& w_prev = ws.w_prev;
+  w_prev.assign(anchor.begin(), anchor.end());
+  std::vector<double>& v = ws.v;
+  v.resize(dim);  // loss_and_gradient overwrites
   result.anchor_loss = model_->loss_and_gradient(w_prev, train, full_idx, v);
   result.sample_gradient_evals += n;
   result.anchor_grad_norm = tensor::nrm2(v);
   FEDVR_OBS_COUNT("solver.anchor_gradients", 1);
 
-  std::vector<double> snapshot;
-  if (selected_t == 0) snapshot = w_prev;
+  // Cleared, not resized: an adaptive-theta break before t' must leave the
+  // snapshot empty, exactly as a freshly constructed vector would be.
+  std::vector<double>& snapshot = ws.snapshot;
+  snapshot.clear();
+  if (selected_t == 0) snapshot.assign(w_prev.begin(), w_prev.end());
 
   // First prox step: w^(1) = prox(w^(0) - eta_0 v^(0)).
-  std::vector<double> w_curr(dim);
-  std::vector<double> step(dim);
+  std::vector<double>& w_curr = ws.w_curr;
+  w_curr.resize(dim);
+  std::vector<double>& step = ws.step;
+  step.resize(dim);
   tensor::copy(w_prev, step);
   tensor::axpy(-eta_at(0), v, step);
   tensor::prox_quadratic(step, anchor, eta_at(0), options_.mu, w_curr);
 
   // Scratch for the estimator updates.
-  std::vector<double> grad_curr(dim);
-  std::vector<double> grad_ref(dim);
-  std::vector<double> v0;        // SVRG keeps the anchor direction
-  std::vector<double> anchor_w;  // SVRG gradient reference point w^(0)
+  std::vector<double>& grad_curr = ws.grad_curr;
+  grad_curr.resize(dim);
+  std::vector<double>& grad_ref = ws.grad_ref;
+  grad_ref.resize(dim);
   if (options_.estimator == Estimator::kSvrg) {
-    v0 = v;
-    anchor_w = w_prev;
+    ws.v0.assign(v.begin(), v.end());          // SVRG keeps the anchor direction
+    ws.anchor_w.assign(w_prev.begin(), w_prev.end());  // reference point w^(0)
   }
-  BatchSampler sampler(options_.sampling, n, options_.batch_size);
-  std::vector<std::size_t> batch;
+  const std::vector<double>& v0 = ws.v0;
+  const std::vector<double>& anchor_w = ws.anchor_w;
+  BatchSampler sampler(options_.sampling, n, options_.batch_size,
+                       ws.permutation);
+  std::vector<std::size_t>& batch = ws.batch;
 
   // The eq. 11 stopping criterion, measured with a full local gradient:
   // ||grad J_n(w)|| <= theta ||grad F_n(anchor)||.
   auto theta_criterion_met = [&](std::span<const double> w) {
-    std::vector<double> grad_j(dim);
+    std::vector<double>& grad_j = ws.grad_j;
+    grad_j.resize(dim);
     (void)model_->loss_and_gradient(w, train, full_idx, grad_j);
     result.sample_gradient_evals += n;
     for (std::size_t i = 0; i < dim; ++i) {
@@ -144,7 +178,7 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
   // Lines 5-9: tau inner iterations. Iteration t consumes w^(t) (w_curr)
   // and w^(t-1) (w_prev) and produces w^(t+1).
   for (std::size_t t = 1; t <= options_.tau; ++t) {
-    if (t == selected_t) snapshot = w_curr;
+    if (t == selected_t) snapshot.assign(w_curr.begin(), w_curr.end());
     result.iterations_run = t;
     if (options_.adaptive_theta > 0.0 &&
         t % options_.theta_check_every == 0 && theta_criterion_met(w_curr)) {
@@ -199,17 +233,22 @@ LocalSolverResult LocalSolver::solve(const data::Dataset& train,
     FEDVR_CHECK_FINITE(w_curr, "local iterate w^(t+1)");
   }
 
-  result.w = (options_.selection == IterateSelection::kUniformRandom &&
-              selected_t <= options_.tau)
-                 ? std::move(snapshot)
-                 : std::move(w_curr);
+  // Swap, don't copy: w_out takes the chosen iterate and donates its old
+  // capacity back to the workspace for the next solve.
+  std::vector<double>& chosen =
+      (options_.selection == IterateSelection::kUniformRandom &&
+       selected_t <= options_.tau)
+          ? snapshot
+          : w_curr;
+  w_out.swap(chosen);
 
   if (options_.compute_diagnostics) {
     // grad J_n(w) = grad F_n(w) + mu (w - anchor)  (paper eq. 68).
-    std::vector<double> grad_j(dim);
-    (void)model_->loss_and_gradient(result.w, train, full_idx, grad_j);
+    std::vector<double>& grad_j = ws.grad_j;
+    grad_j.resize(dim);
+    (void)model_->loss_and_gradient(w_out, train, full_idx, grad_j);
     for (std::size_t i = 0; i < dim; ++i) {
-      grad_j[i] += options_.mu * (result.w[i] - anchor[i]);
+      grad_j[i] += options_.mu * (w_out[i] - anchor[i]);
     }
     result.surrogate_grad_norm = tensor::nrm2(grad_j);
     result.measured_theta =

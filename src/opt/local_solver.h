@@ -17,6 +17,7 @@
 #include "data/dataset.h"
 #include "nn/model.h"
 #include "opt/estimator.h"
+#include "opt/workspace.h"
 #include "util/rng.h"
 
 namespace fedvr::opt {
@@ -111,6 +112,18 @@ class LocalSolver {
   [[nodiscard]] LocalSolverResult solve(const data::Dataset& train,
                                         std::span<const double> anchor,
                                         util::Rng& rng) const;
+
+  /// Workspace-based core with the identical floating-point and RNG
+  /// sequence as solve() above (which wraps this with a throwaway
+  /// workspace). Every buffer comes from `ws` and is reused across calls,
+  /// so steady-state invocations allocate nothing. The chosen iterate is
+  /// swapped into `w_out` (donating w_out's old capacity back to the
+  /// workspace) and `result.w` stays empty. `w_out` must not alias
+  /// `anchor` or any workspace buffer.
+  [[nodiscard]] LocalSolverResult solve(const data::Dataset& train,
+                                        std::span<const double> anchor,
+                                        util::Rng& rng, SolverWorkspace& ws,
+                                        std::vector<double>& w_out) const;
 
  private:
   std::shared_ptr<const nn::Model> model_;

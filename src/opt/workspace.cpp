@@ -1,0 +1,26 @@
+#include "opt/workspace.h"
+
+namespace fedvr::opt {
+
+std::size_t WorkspacePool::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return all_.size();
+}
+
+SolverWorkspace* WorkspacePool::take() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_.empty()) {
+    SolverWorkspace* ws = free_.back();
+    free_.pop_back();
+    return ws;
+  }
+  all_.push_back(std::make_unique<SolverWorkspace>());
+  return all_.back().get();
+}
+
+void WorkspacePool::give_back(SolverWorkspace* ws) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(ws);
+}
+
+}  // namespace fedvr::opt

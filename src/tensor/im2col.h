@@ -41,9 +41,24 @@ struct ConvGeometry {
 void im2col(const ConvGeometry& g, std::span<const double> image,
             std::span<double> cols);
 
+/// Strided variant: writes row r of the column matrix at
+/// cols[r * ld_cols + col_offset ...], so several samples can be lowered
+/// side by side into one (col_rows x B*out_pixels) block and consumed by a
+/// single batched GEMM (the conv2d backward dW path).
+void im2col(const ConvGeometry& g, std::span<const double> image,
+            std::span<double> cols, std::size_t ld_cols,
+            std::size_t col_offset);
+
 /// Adjoint of im2col: scatters cols back into (and accumulates onto) the
 /// image buffer. Caller zeroes `image` first when a pure adjoint is wanted.
 void col2im(const ConvGeometry& g, std::span<const double> cols,
             std::span<double> image);
+
+/// Strided adjoint: reads row r of the column matrix at
+/// cols[r * ld_cols + col_offset ...] (one sample's slice of a batched
+/// column block).
+void col2im(const ConvGeometry& g, std::span<const double> cols,
+            std::span<double> image, std::size_t ld_cols,
+            std::size_t col_offset);
 
 }  // namespace fedvr::tensor

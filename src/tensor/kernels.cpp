@@ -7,36 +7,30 @@
 
 #include "check/check.h"
 #include "obs/registry.h"
+#include "tensor/arena.h"
+#include "tensor/kernel_dispatch.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
 namespace fedvr::tensor {
 
 void scratch_resize(std::vector<double>& buf, std::size_t n) {
-  if (buf.capacity() > kScratchCapDoubles && n <= kScratchCapDoubles) {
-    std::vector<double>().swap(buf);
+  const bool drop_oversize =
+      buf.capacity() > kScratchCapDoubles && n <= kScratchCapDoubles;
+  if (drop_oversize || n > buf.capacity()) {
+    // Fresh-allocate + swap: contents are scratch, so never pay resize()'s
+    // copy of the stale prefix into the new allocation (and the shrink path
+    // costs exactly one free + one allocation).
+    std::vector<double> fresh(n);
+    buf.swap(fresh);
+    return;
   }
   buf.resize(n);
 }
 
 namespace {
 
-// Runtime-dispatched SIMD: on x86-64 GCC additionally emits an AVX2+FMA
-// (x86-64-v3) clone of each hot kernel and binds the best one at load time
-// via IFUNC, so a single binary is portable yet uses the wide units where
-// they exist. FMA contraction changes rounding relative to the default
-// clone, but the selected clone is fixed per machine, which is all the
-// determinism contract (bit-identical runs on one host) requires.
-// Sanitizer builds must not use target_clones: the IFUNC resolvers it
-// emits run during relocation, before the sanitizer runtime initializes,
-// and crash at process start.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
-#define FEDVR_KERNEL_CLONES \
-  __attribute__((target_clones("arch=x86-64-v3", "default")))
-#else
-#define FEDVR_KERNEL_CLONES
-#endif
+// FEDVR_KERNEL_CLONES / FEDVR_KERNEL_HAS_CLONES: see kernel_dispatch.h.
 
 // ---- Blocked-GEMM parameters (rationale in DESIGN.md §10) ----
 //
@@ -47,9 +41,18 @@ namespace {
 // over k in ascending KC-chunk order regardless of how row-blocks are
 // scheduled onto threads, which is what keeps parallel runs bit-identical
 // to serial ones.
-constexpr std::size_t kMr = 3;
-constexpr std::size_t kNr = 12;
-constexpr std::size_t kMc = 60;
+// Register-tile shapes. The portable shape (3 x 12) fits AVX2's sixteen
+// ymm registers; machines with AVX-512 get a wider 5 x 24 tile (15 zmm
+// accumulators out of 32). The shape is picked once per process in
+// kernel_shape() below. Tile shape is value-neutral: each C element's
+// k-accumulation is a scalar FMA chain inside one microkernel invocation,
+// so MR/NR only decide which elements share an invocation, never the
+// per-element operation order.
+constexpr std::size_t kMrAvx2 = 3;
+constexpr std::size_t kNrAvx2 = 12;
+constexpr std::size_t kMrAvx512 = 5;
+constexpr std::size_t kNrAvx512 = 24;
+constexpr std::size_t kMc = 60;  // divisible by both MR shapes
 constexpr std::size_t kKc = 256;
 constexpr std::size_t kNc = 256;
 
@@ -85,11 +88,10 @@ void gemm_core(std::size_t m, std::size_t n, std::size_t k, double alpha,
   }
 }
 
-// Packs op(M) into `out` as a (rows x cols) row-major matrix.
+// Packs op(M) into `out` as a (rows x cols) row-major matrix. `out` is
+// caller-provided (arena) storage of exactly rows * cols doubles.
 void pack(Trans trans, std::size_t rows, std::size_t cols,
-          std::span<const double> src, std::size_t ld,
-          std::vector<double>& out) {
-  scratch_resize(out, rows * cols);
+          std::span<const double> src, std::size_t ld, std::span<double> out) {
   if (trans == Trans::kNo) {
     for (std::size_t i = 0; i < rows; ++i) {
       const double* s = src.data() + i * ld;
@@ -105,50 +107,48 @@ void pack(Trans trans, std::size_t rows, std::size_t cols,
   }
 }
 
-// Packs rows [i0, i0+ib) x depth [p0, p0+pb) of op(A) into MR-row groups:
-// group g holds its MR rows interleaved per depth step (column-major within
-// the group), padded with zeros past the last real row so the microkernel
-// never branches on the row remainder.
-void pack_a_block(Trans trans, std::span<const double> a, std::size_t lda,
-                  std::size_t i0, std::size_t ib, std::size_t p0,
-                  std::size_t pb, std::vector<double>& out) {
-  const std::size_t groups = (ib + kMr - 1) / kMr;
-  scratch_resize(out, groups * pb * kMr);
+// Packs rows [i0, i0+ib) x depth [p0, p0+pb) of op(A) into mr_t-row groups:
+// group g holds its mr_t rows interleaved per depth step (column-major
+// within the group), padded with zeros past the last real row so the
+// microkernel never branches on the row remainder.
+void pack_a_block(Trans trans, std::size_t mr_t, std::span<const double> a,
+                  std::size_t lda, std::size_t i0, std::size_t ib,
+                  std::size_t p0, std::size_t pb, std::span<double> out) {
+  const std::size_t groups = (ib + mr_t - 1) / mr_t;
   double* dst = out.data();
   for (std::size_t g = 0; g < groups; ++g) {
-    const std::size_t rows = std::min(kMr, ib - g * kMr);
+    const std::size_t rows = std::min(mr_t, ib - g * mr_t);
     for (std::size_t p = 0; p < pb; ++p) {
-      for (std::size_t r = 0; r < kMr; ++r) {
+      for (std::size_t r = 0; r < mr_t; ++r) {
         *dst++ = r < rows
-                     ? op_at(trans, a, lda, i0 + g * kMr + r, p0 + p)
+                     ? op_at(trans, a, lda, i0 + g * mr_t + r, p0 + p)
                      : 0.0;
       }
     }
   }
 }
 
-// Packs depth [p0, p0+pb) x cols [j0, j0+jb) of op(B) into NR-column
+// Packs depth [p0, p0+pb) x cols [j0, j0+jb) of op(B) into nr_t-column
 // slivers, zero-padded past the last real column.
-void pack_b_panel(Trans trans, std::span<const double> b, std::size_t ldb,
-                  std::size_t p0, std::size_t pb, std::size_t j0,
-                  std::size_t jb, std::vector<double>& out) {
-  const std::size_t slivers = (jb + kNr - 1) / kNr;
-  scratch_resize(out, slivers * pb * kNr);
+void pack_b_panel(Trans trans, std::size_t nr_t, std::span<const double> b,
+                  std::size_t ldb, std::size_t p0, std::size_t pb,
+                  std::size_t j0, std::size_t jb, std::span<double> out) {
+  const std::size_t slivers = (jb + nr_t - 1) / nr_t;
   double* dst = out.data();
   for (std::size_t g = 0; g < slivers; ++g) {
-    const std::size_t cols = std::min(kNr, jb - g * kNr);
+    const std::size_t cols = std::min(nr_t, jb - g * nr_t);
     if (trans == Trans::kNo) {
-      const double* src = b.data() + j0 + g * kNr;
+      const double* src = b.data() + j0 + g * nr_t;
       for (std::size_t p = 0; p < pb; ++p) {
         const double* row = src + (p0 + p) * ldb;
         for (std::size_t c = 0; c < cols; ++c) *dst++ = row[c];
-        for (std::size_t c = cols; c < kNr; ++c) *dst++ = 0.0;
+        for (std::size_t c = cols; c < nr_t; ++c) *dst++ = 0.0;
       }
     } else {
       for (std::size_t p = 0; p < pb; ++p) {
-        for (std::size_t c = 0; c < kNr; ++c) {
+        for (std::size_t c = 0; c < nr_t; ++c) {
           *dst++ = c < cols
-                       ? op_at(trans, b, ldb, p0 + p, j0 + g * kNr + c)
+                       ? op_at(trans, b, ldb, p0 + p, j0 + g * nr_t + c)
                        : 0.0;
         }
       }
@@ -159,18 +159,19 @@ void pack_b_panel(Trans trans, std::span<const double> b, std::size_t ldb,
 // C tile (mr x nr, row stride ldc) += alpha * a_sliver * b_sliver over pb
 // depth steps. The full MR x NR accumulator is always computed (padded
 // lanes just accumulate zeros); only the valid mr x nr corner is written
-// back.
-FEDVR_KERNEL_CLONES
-void micro_kernel(std::size_t pb, const double* a, const double* b,
-                  double alpha, double* c, std::size_t ldc, std::size_t mr,
-                  std::size_t nr) {
-  double acc[kMr][kNr] = {};
+// back. Shared body for every ISA-specific wrapper: inlined into the
+// wrapper, it is compiled with the wrapper's target ISA.
+template <std::size_t MR, std::size_t NR>
+[[gnu::always_inline]] inline void micro_kernel_body(
+    std::size_t pb, const double* a, const double* b, double alpha, double* c,
+    std::size_t ldc, std::size_t mr, std::size_t nr) {
+  double acc[MR][NR] = {};
   for (std::size_t p = 0; p < pb; ++p) {
-    const double* ap = a + p * kMr;
-    const double* bp = b + p * kNr;
-    for (std::size_t r = 0; r < kMr; ++r) {
+    const double* ap = a + p * MR;
+    const double* bp = b + p * NR;
+    for (std::size_t r = 0; r < MR; ++r) {
       const double av = ap[r];
-      for (std::size_t j = 0; j < kNr; ++j) {
+      for (std::size_t j = 0; j < NR; ++j) {
         acc[r][j] += av * bp[j];
       }
     }
@@ -183,6 +184,46 @@ void micro_kernel(std::size_t pb, const double* a, const double* b,
   }
 }
 
+FEDVR_KERNEL_CLONES
+void micro_kernel_avx2(std::size_t pb, const double* a, const double* b,
+                       double alpha, double* c, std::size_t ldc,
+                       std::size_t mr, std::size_t nr) {
+  micro_kernel_body<kMrAvx2, kNrAvx2>(pb, a, b, alpha, c, ldc, mr, nr);
+}
+
+#if defined(FEDVR_KERNEL_HAS_CLONES)
+__attribute__((target("arch=x86-64-v4")))
+void micro_kernel_avx512(std::size_t pb, const double* a, const double* b,
+                         double alpha, double* c, std::size_t ldc,
+                         std::size_t mr, std::size_t nr) {
+  micro_kernel_body<kMrAvx512, kNrAvx512>(pb, a, b, alpha, c, ldc, mr, nr);
+}
+#endif
+
+// The register-tile shape and matching microkernel, fixed once per process.
+// AVX-512 machines take the wide tile; everything else (including sanitizer
+// builds, which cannot use target attributes) takes the portable one. The
+// choice is per-machine, never per-run or per-thread, so it cannot perturb
+// the determinism contract.
+struct KernelShape {
+  std::size_t mr;
+  std::size_t nr;
+  void (*kernel)(std::size_t, const double*, const double*, double, double*,
+                 std::size_t, std::size_t, std::size_t);
+};
+
+const KernelShape& kernel_shape() {
+  static const KernelShape shape = [] {
+#if defined(FEDVR_KERNEL_HAS_CLONES)
+    if (__builtin_cpu_supports("avx512f")) {
+      return KernelShape{kMrAvx512, kNrAvx512, micro_kernel_avx512};
+    }
+#endif
+    return KernelShape{kMrAvx2, kNrAvx2, micro_kernel_avx2};
+  }();
+  return shape;
+}
+
 // The blocked path: jc (NC) -> pc (KC, serial so the k-order is fixed) ->
 // parallel over ic (MC row-blocks of C, disjoint) -> jr (NR) -> ir (MR).
 // beta has already been applied to C by the caller.
@@ -190,38 +231,128 @@ void gemm_blocked(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
                   std::size_t k, double alpha, std::span<const double> a,
                   std::size_t lda, std::span<const double> b, std::size_t ldb,
                   std::span<double> c, std::size_t ldc) {
-  thread_local std::vector<double> b_panel;
+  // One B-panel allocation per gemm call, sized for the largest (p0, j0)
+  // panel; each iteration packs into its prefix. The panel lives on the
+  // calling thread's arena and is read-only for the workers (parallel_for's
+  // task handoff publishes it); workers draw their A blocks from their own
+  // per-thread arenas (inline execution nests scopes LIFO on this one).
+  const KernelShape& ks = kernel_shape();
+  const std::size_t mr_t = ks.mr;
+  const std::size_t nr_t = ks.nr;
+  Workspace ws(scratch_arena());
+  const std::size_t max_pb = std::min(kKc, k);
+  auto b_panel =
+      ws.alloc<double>((std::min(kNc, n) + nr_t - 1) / nr_t * max_pb * nr_t);
+  const std::size_t a_block_doubles = (kMc + mr_t - 1) / mr_t * max_pb * mr_t;
   for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
     const std::size_t jb = std::min(kNc, n - j0);
-    const std::size_t slivers = (jb + kNr - 1) / kNr;
+    const std::size_t slivers = (jb + nr_t - 1) / nr_t;
     for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
       const std::size_t pb = std::min(kKc, k - p0);
-      // Packed once by the calling thread, then read-only for the workers
-      // (parallel_for's task handoff publishes it). Captured as a raw
-      // pointer: thread_local variables are not captured by lambdas, so
-      // naming b_panel inside the worker body would resolve to the
-      // worker's own (empty) instance.
-      pack_b_panel(trans_b, b, ldb, p0, pb, j0, jb, b_panel);
+      pack_b_panel(trans_b, nr_t, b, ldb, p0, pb, j0, jb,
+                   b_panel.subspan(0, slivers * pb * nr_t));
       const double* b_packed = b_panel.data();
       const std::size_t iblocks = (m + kMc - 1) / kMc;
       util::ThreadPool::global().parallel_for(
           0, iblocks, [&](std::size_t blk) {
-            thread_local std::vector<double> a_block;
+            Workspace wws(scratch_arena());
+            const auto a_block = wws.alloc<double>(a_block_doubles);
             const std::size_t i0 = blk * kMc;
             const std::size_t ib = std::min(kMc, m - i0);
-            pack_a_block(trans_a, a, lda, i0, ib, p0, pb, a_block);
+            const std::size_t groups = (ib + mr_t - 1) / mr_t;
+            pack_a_block(trans_a, mr_t, a, lda, i0, ib, p0, pb,
+                         a_block.subspan(0, groups * pb * mr_t));
             for (std::size_t jg = 0; jg < slivers; ++jg) {
-              const double* b_sliver = b_packed + jg * pb * kNr;
-              const std::size_t nr = std::min(kNr, jb - jg * kNr);
-              for (std::size_t ig = 0; ig * kMr < ib; ++ig) {
-                const double* a_sliver = a_block.data() + ig * pb * kMr;
-                const std::size_t mr = std::min(kMr, ib - ig * kMr);
-                micro_kernel(pb, a_sliver, b_sliver, alpha,
-                             c.data() + (i0 + ig * kMr) * ldc + j0 + jg * kNr,
-                             ldc, mr, nr);
+              const double* b_sliver = b_packed + jg * pb * nr_t;
+              const std::size_t nr = std::min(nr_t, jb - jg * nr_t);
+              for (std::size_t ig = 0; ig * mr_t < ib; ++ig) {
+                const double* a_sliver = a_block.data() + ig * pb * mr_t;
+                const std::size_t mr = std::min(mr_t, ib - ig * mr_t);
+                ks.kernel(pb, a_sliver, b_sliver, alpha,
+                          c.data() + (i0 + ig * mr_t) * ldc + j0 + jg * nr_t,
+                          ldc, mr, nr);
               }
             }
           });
+    }
+  }
+}
+
+// ---- Dot-product GEMM path (small C, long k, both operands k-major) ----
+//
+// When A is untransposed and B is transposed, both operands stream
+// unit-stride along k; when C is also tiny (e.g. conv1's 25 x 32 dW with
+// k = 784), the blocked path has almost no operand reuse to exploit and
+// spends most of its time packing and re-streaming slivers. Computing each
+// C element directly as a register-resident dot product wins there.
+//
+// Determinism: each element is accumulated into kDotLanes independent
+// partial sums (lane l takes the k indices congruent to l modulo
+// kDotLanes, tail indices fold into lanes 0..k%kDotLanes), then reduced in
+// ascending lane order. The tile grouping below never changes any
+// element's arithmetic, and path selection depends only on the shape.
+constexpr std::size_t kDotLanes = 8;
+constexpr std::size_t kDotMaxC = 4096;  // m * n at or below: C fits L1 easily
+constexpr std::size_t kDotMinK = 128;   // long enough to amortize the reduce
+
+template <std::size_t TI, std::size_t TJ>
+[[gnu::always_inline]] inline void dot_tile(std::size_t k, double alpha,
+                                            const double* a, std::size_t lda,
+                                            const double* b, std::size_t ldb,
+                                            double* c, std::size_t ldc) {
+  double acc[TI][TJ][kDotLanes] = {};
+  const std::size_t k8 = k - k % kDotLanes;
+  for (std::size_t p = 0; p < k8; p += kDotLanes) {
+    for (std::size_t i = 0; i < TI; ++i) {
+      for (std::size_t j = 0; j < TJ; ++j) {
+        const double* ap = a + i * lda + p;
+        const double* bp = b + j * ldb + p;
+        for (std::size_t l = 0; l < kDotLanes; ++l) {
+          acc[i][j][l] += ap[l] * bp[l];
+        }
+      }
+    }
+  }
+  for (std::size_t p = k8; p < k; ++p) {
+    for (std::size_t i = 0; i < TI; ++i) {
+      for (std::size_t j = 0; j < TJ; ++j) {
+        acc[i][j][p - k8] += a[i * lda + p] * b[j * ldb + p];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < TI; ++i) {
+    for (std::size_t j = 0; j < TJ; ++j) {
+      double s = acc[i][j][0];
+      for (std::size_t l = 1; l < kDotLanes; ++l) s += acc[i][j][l];
+      c[i * ldc + j] += alpha * s;
+    }
+  }
+}
+
+FEDVR_KERNEL_CLONES
+void gemm_dot_core(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                   const double* a, std::size_t lda, const double* b,
+                   std::size_t ldb, double* c, std::size_t ldc) {
+  const std::size_t m2 = m - m % 2;
+  const std::size_t n2 = n - n % 2;
+  for (std::size_t i = 0; i < m2; i += 2) {
+    for (std::size_t j = 0; j < n2; j += 2) {
+      dot_tile<2, 2>(k, alpha, a + i * lda, lda, b + j * ldb, ldb,
+                     c + i * ldc + j, ldc);
+    }
+    if (n2 < n) {
+      dot_tile<2, 1>(k, alpha, a + i * lda, lda, b + n2 * ldb, ldb,
+                     c + i * ldc + n2, ldc);
+    }
+  }
+  if (m2 < m) {
+    for (std::size_t j = 0; j < n2; j += 2) {
+      dot_tile<1, 2>(k, alpha, a + m2 * lda, lda, b + j * ldb, ldb,
+                     c + m2 * ldc + j, ldc);
+    }
+    if (n2 < n) {
+      dot_tile<1, 1>(k, alpha, a + m2 * lda, lda, b + n2 * ldb, ldb,
+                     c + m2 * ldc + n2, ldc);
     }
   }
 }
@@ -287,6 +418,16 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
   FEDVR_OBS_COUNT("tensor.gemm.flops", 2ULL * m * n * k);
 
+  // Shape-only path selection (see the path comments for why each exists);
+  // the dot path must be tested before the blocked one — its shapes usually
+  // clear the blocked volume floor but run far faster unblocked.
+  if (trans_a == Trans::kNo && trans_b == Trans::kYes && m * n <= kDotMaxC &&
+      k >= kDotMinK) {
+    gemm_dot_core(m, n, k, alpha, a.data(), lda, b.data(), ldb, c.data(),
+                  ldc);
+    return;
+  }
+
   if (m * n * k >= kBlockedMinVolume) {
     gemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, c, ldc);
     return;
@@ -294,20 +435,21 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
 
   // Small-product path: pack operands into non-transposed layout. Simpler
   // than four loop variants, and the packing cost is linear while the
-  // product is cubic.
-  thread_local std::vector<double> a_pack;
-  thread_local std::vector<double> b_pack;
+  // product is cubic. Pack storage comes from the per-thread arena scope.
+  Workspace ws(scratch_arena());
   const double* a_ptr;
   const double* b_ptr;
   if (trans_a == Trans::kNo && lda == k) {
     a_ptr = a.data();
   } else {
+    auto a_pack = ws.alloc<double>(m * k);
     pack(trans_a, m, k, a, lda, a_pack);
     a_ptr = a_pack.data();
   }
   if (trans_b == Trans::kNo && ldb == n) {
     b_ptr = b.data();
   } else {
+    auto b_pack = ws.alloc<double>(k * n);
     pack(trans_b, k, n, b, ldb, b_pack);
     b_ptr = b_pack.data();
   }
@@ -432,6 +574,82 @@ void sum_rows(std::size_t rows, std::size_t cols, std::span<const double> dy,
     const double* row = dy.data() + i * cols;
     for (std::size_t j = 0; j < cols; ++j) bias_grad[j] += row[j];
   }
+}
+
+namespace {
+
+// Blocked so both the read and the write side stay within a few cache
+// lines per tile; 16 doubles = 2 lines.
+constexpr std::size_t kTransposeTile = 16;
+
+FEDVR_KERNEL_CLONES
+void transpose_core(std::size_t rows, std::size_t cols, const double* in,
+                    double* out) {
+  for (std::size_t i0 = 0; i0 < rows; i0 += kTransposeTile) {
+    const std::size_t ih = std::min(rows, i0 + kTransposeTile);
+    for (std::size_t j0 = 0; j0 < cols; j0 += kTransposeTile) {
+      const std::size_t jh = std::min(cols, j0 + kTransposeTile);
+      for (std::size_t i = i0; i < ih; ++i) {
+        const double* src = in + i * cols;
+        for (std::size_t j = j0; j < jh; ++j) {
+          out[j * rows + i] = src[j];
+        }
+      }
+    }
+  }
+}
+
+FEDVR_KERNEL_CLONES
+void add_transposed_core(std::size_t rows, std::size_t cols, const double* in,
+                         double* out) {
+  for (std::size_t i0 = 0; i0 < rows; i0 += kTransposeTile) {
+    const std::size_t ih = std::min(rows, i0 + kTransposeTile);
+    for (std::size_t j0 = 0; j0 < cols; j0 += kTransposeTile) {
+      const std::size_t jh = std::min(cols, j0 + kTransposeTile);
+      for (std::size_t i = i0; i < ih; ++i) {
+        double* dst = out + i * cols;
+        for (std::size_t j = j0; j < jh; ++j) {
+          dst[j] += in[j * rows + i];
+        }
+      }
+    }
+  }
+}
+
+FEDVR_KERNEL_CLONES
+void add_row_sums_core(std::size_t rows, std::size_t cols, const double* m,
+                       double* out) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = m + i * cols;
+    // Single serial ascending accumulator: the FP order the determinism
+    // contract pins for the conv2d db partials.
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) acc += row[j];
+    out[i] += acc;
+  }
+}
+
+}  // namespace
+
+void transpose(std::size_t rows, std::size_t cols, std::span<const double> in,
+               std::span<double> out) {
+  FEDVR_CHECK_SHAPE(in.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(out.size(), rows * cols);
+  transpose_core(rows, cols, in.data(), out.data());
+}
+
+void add_transposed(std::size_t rows, std::size_t cols,
+                    std::span<const double> in, std::span<double> out) {
+  FEDVR_CHECK_SHAPE(in.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(out.size(), rows * cols);
+  add_transposed_core(rows, cols, in.data(), out.data());
+}
+
+void add_row_sums(std::size_t rows, std::size_t cols,
+                  std::span<const double> m, std::span<double> out) {
+  FEDVR_CHECK_SHAPE(m.size(), rows * cols);
+  FEDVR_CHECK_SHAPE(out.size(), rows);
+  add_row_sums_core(rows, cols, m.data(), out.data());
 }
 
 }  // namespace fedvr::tensor

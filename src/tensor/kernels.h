@@ -20,16 +20,22 @@ namespace fedvr::tensor {
 
 enum class Trans { kNo, kYes };
 
-/// Thread-local kernel scratch (pack buffers, im2col columns) above this
-/// many doubles (8 MiB) is released on the next acquisition rather than
-/// retained for the lifetime of the thread — one outlier shape must not pin
-/// that much memory per pool worker forever.
+/// Per-thread kernel scratch above this many doubles (8 MiB) is released
+/// once the current episode no longer needs it, rather than retained for
+/// the lifetime of the thread — one outlier shape must not pin that much
+/// memory per pool worker forever. The kernels themselves draw scratch from
+/// tensor::scratch_arena() (arena.h), whose trim policy enforces the same
+/// cap; scratch_resize() applies it to plain reusable vectors (solver
+/// workspaces, tests). The cap's interaction with the flat-vector helpers
+/// is documented in vecops.h.
 constexpr std::size_t kScratchCapDoubles = 1U << 20;
 
-/// Resizes a (typically thread_local) scratch vector to n doubles,
-/// releasing retained capacity first when it exceeds kScratchCapDoubles and
-/// the new request fits under the cap. Contents after the call are
-/// unspecified.
+/// Resizes a reusable scratch vector to n doubles without preserving
+/// contents: grows via fresh allocation + swap (never copies the stale
+/// prefix the way resize() would), and releases retained capacity when it
+/// exceeds kScratchCapDoubles and the new request fits under the cap —
+/// one free + one allocation, not the free/realloc pair a shrink-through-
+/// resize() would cost. Contents after the call are unspecified.
 void scratch_resize(std::vector<double>& buf, std::size_t n);
 
 /// C = alpha * op(A) * op(B) + beta * C.
@@ -73,5 +79,24 @@ void add_bias_rows(std::size_t rows, std::size_t cols, std::span<double> x,
 /// bias_grad[j] = sum over rows of dy(row, j).
 void sum_rows(std::size_t rows, std::size_t cols, std::span<const double> dy,
               std::span<double> bias_grad);
+
+/// out (cols x rows) = in^T, with in a (rows x cols) row-major matrix.
+/// Tiled + runtime-dispatched; used to materialize W^T once per conv
+/// backward so every per-sample GEMM reads unit-stride operands.
+void transpose(std::size_t rows, std::size_t cols, std::span<const double> in,
+               std::span<double> out);
+
+/// out (rows x cols) += in^T, with in a (cols x rows) row-major matrix.
+/// The serial partial-block reduce of conv2d backward: out element order is
+/// fixed by the caller's ascending block loop, so pool-size bit-identity is
+/// unaffected.
+void add_transposed(std::size_t rows, std::size_t cols,
+                    std::span<const double> in, std::span<double> out);
+
+/// out[i] += sum over j of m(i, j), each row summed in ascending-j order
+/// (the conv2d db partial accumulation; the per-row order is what the
+/// determinism contract pins).
+void add_row_sums(std::size_t rows, std::size_t cols,
+                  std::span<const double> m, std::span<double> out);
 
 }  // namespace fedvr::tensor

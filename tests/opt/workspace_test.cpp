@@ -1,0 +1,229 @@
+// SolverWorkspace / WorkspacePool: the per-device buffer reuse behind the
+// zero-allocation local epochs. The load-bearing property is that the
+// workspace overload of LocalSolver::solve is *bit-identical* to the
+// classic overload — same floating-point sequence, same RNG draws — no
+// matter how dirty the workspace is from previous solves, and that warm
+// solves stop touching the heap (pinned here as "the buffer storage stops
+// moving").
+#include "opt/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "opt/local_solver.h"
+#include "testing/quadratic_model.h"
+#include "util/rng.h"
+
+namespace fedvr::opt {
+namespace {
+
+using fedvr::testing::quadratic_dataset;
+using fedvr::testing::QuadraticModel;
+using fedvr::util::Rng;
+
+std::shared_ptr<const nn::Model> quad_model(std::size_t dim) {
+  return std::make_shared<QuadraticModel>(dim);
+}
+
+LocalSolverOptions base_options() {
+  LocalSolverOptions o;
+  o.estimator = Estimator::kSvrg;
+  o.tau = 15;
+  o.eta = 0.2;
+  o.mu = 0.5;
+  o.batch_size = 2;
+  return o;
+}
+
+void expect_same_result(const LocalSolverResult& classic,
+                        const LocalSolverResult& pooled,
+                        const std::vector<double>& pooled_w,
+                        const std::string& label) {
+  ASSERT_EQ(classic.w.size(), pooled_w.size()) << label;
+  for (std::size_t i = 0; i < classic.w.size(); ++i) {
+    EXPECT_EQ(classic.w[i], pooled_w[i]) << label << " coord " << i;
+  }
+  EXPECT_TRUE(pooled.w.empty()) << label;  // iterate lives in w_out instead
+  EXPECT_EQ(classic.anchor_grad_norm, pooled.anchor_grad_norm) << label;
+  EXPECT_EQ(classic.anchor_loss, pooled.anchor_loss) << label;
+  EXPECT_EQ(classic.surrogate_grad_norm, pooled.surrogate_grad_norm) << label;
+  EXPECT_EQ(classic.measured_theta, pooled.measured_theta) << label;
+  EXPECT_EQ(classic.sample_gradient_evals, pooled.sample_gradient_evals)
+      << label;
+  EXPECT_EQ(classic.iterations_run, pooled.iterations_run) << label;
+}
+
+TEST(WorkspacePool, SequentialLeasesReuseOneWorkspace) {
+  WorkspacePool pool;
+  EXPECT_EQ(pool.size(), 0U);
+  SolverWorkspace* first = nullptr;
+  {
+    const WorkspacePool::Lease lease(pool);
+    first = &*lease;
+    (*lease).w_curr.resize(64);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const WorkspacePool::Lease lease(pool);
+    EXPECT_EQ(&*lease, first);
+    // The warmed buffer keeps its capacity across leases.
+    EXPECT_GE(lease->w_curr.capacity(), 64U);
+  }
+  EXPECT_EQ(pool.size(), 1U);
+}
+
+TEST(WorkspacePool, ConcurrentLeasesGetDistinctWorkspaces) {
+  WorkspacePool pool;
+  {
+    const WorkspacePool::Lease a(pool);
+    const WorkspacePool::Lease b(pool);
+    EXPECT_NE(&*a, &*b);
+    EXPECT_EQ(pool.size(), 2U);
+  }
+  // Both returned: the pool grows to peak concurrency, never beyond.
+  {
+    const WorkspacePool::Lease a(pool);
+    const WorkspacePool::Lease b(pool);
+    (void)a;
+    (void)b;
+  }
+  EXPECT_EQ(pool.size(), 2U);
+}
+
+// Every estimator / selection / sampling combination the trainer can
+// configure must produce the identical iterate and identical RNG
+// consumption through the workspace overload.
+TEST(SolverWorkspaceSolve, MatchesClassicSolveBitwise) {
+  const std::size_t dim = 5;
+  const auto model = quad_model(dim);
+  const auto ds = quadratic_dataset(40, dim, 2.0, 1.0, 3);
+  const std::vector<double> anchor(dim, 0.25);
+
+  SolverWorkspace ws;  // deliberately shared (and dirtied) across configs
+  std::vector<double> w_out;
+  std::uint64_t seed = 100;
+  for (auto estimator : {Estimator::kSgd, Estimator::kSvrg, Estimator::kSarah,
+                         Estimator::kFullGradient}) {
+    for (auto selection :
+         {IterateSelection::kLast, IterateSelection::kUniformRandom}) {
+      for (auto sampling :
+           {Sampling::kWithReplacement, Sampling::kShuffledEpochs}) {
+        auto opts = base_options();
+        opts.estimator = estimator;
+        opts.selection = selection;
+        opts.sampling = sampling;
+        opts.compute_diagnostics = true;
+        const LocalSolver solver(model, opts);
+        const std::string label =
+            "estimator=" + std::to_string(static_cast<int>(estimator)) +
+            " selection=" + std::to_string(static_cast<int>(selection)) +
+            " sampling=" + std::to_string(static_cast<int>(sampling));
+        ++seed;
+        Rng rng_classic(seed);
+        Rng rng_ws(seed);
+        const auto classic = solver.solve(ds, anchor, rng_classic);
+        const auto pooled = solver.solve(ds, anchor, rng_ws, ws, w_out);
+        expect_same_result(classic, pooled, w_out, label);
+      }
+    }
+  }
+}
+
+// The adaptive-theta early stop can fire before the uniform-random t' is
+// reached, in which case the classic path returns an *empty* snapshot
+// branchlessly resolved to w_curr. A stale snapshot from a previous solve
+// must not resurrect the other branch.
+TEST(SolverWorkspaceSolve, EarlyThetaStopWithDirtySnapshotMatchesClassic) {
+  const std::size_t dim = 4;
+  const auto model = quad_model(dim);
+  const auto ds = quadratic_dataset(30, dim, 1.0, 1.0, 7);
+  const std::vector<double> anchor(dim, 1.0);
+
+  SolverWorkspace ws;
+  std::vector<double> w_out;
+  // First solve: kUniformRandom with no early stop populates ws.snapshot.
+  {
+    auto opts = base_options();
+    opts.selection = IterateSelection::kUniformRandom;
+    const LocalSolver solver(model, opts);
+    Rng rng(41);
+    (void)solver.solve(ds, anchor, rng, ws, w_out);
+  }
+  // Second solve: a theta threshold loose enough to stop at the first
+  // check, before most t' draws.
+  auto opts = base_options();
+  opts.selection = IterateSelection::kUniformRandom;
+  opts.adaptive_theta = 0.99;
+  opts.theta_check_every = 1;
+  const LocalSolver solver(model, opts);
+  Rng rng_classic(43);
+  Rng rng_ws(43);
+  const auto classic = solver.solve(ds, anchor, rng_classic);
+  const auto pooled = solver.solve(ds, anchor, rng_ws, ws, w_out);
+  EXPECT_LT(pooled.iterations_run, base_options().tau);  // the stop fired
+  expect_same_result(classic, pooled, w_out, "early-theta");
+}
+
+// One workspace serving solvers of different dimensionality: buffers must
+// resize correctly and the results stay identical to fresh-workspace runs.
+TEST(SolverWorkspaceSolve, SharedWorkspaceAcrossDimensionsStaysIdentical) {
+  SolverWorkspace shared;
+  std::vector<double> w_out;
+  for (std::size_t dim : {6U, 3U, 6U}) {
+    const auto model = quad_model(dim);
+    const auto ds = quadratic_dataset(24, dim, 1.5, 1.0, dim);
+    const std::vector<double> anchor(dim, 0.5);
+    const LocalSolver solver(model, base_options());
+    Rng rng_fresh(dim);
+    Rng rng_shared(dim);
+    SolverWorkspace fresh;
+    std::vector<double> w_fresh;
+    (void)solver.solve(ds, anchor, rng_fresh, fresh, w_fresh);
+    (void)solver.solve(ds, anchor, rng_shared, shared, w_out);
+    ASSERT_EQ(w_fresh.size(), dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      EXPECT_EQ(w_fresh[i], w_out[i]) << "dim " << dim << " coord " << i;
+    }
+  }
+}
+
+// The zero-allocation claim, pinned as an observable: once warm, repeated
+// solves stop moving buffer storage. solve() swaps the chosen iterate into
+// w_out (and w_prev/w_curr swap internally), so individual members trade
+// pointers — but the *multiset* of backing allocations must be closed.
+TEST(SolverWorkspaceSolve, WarmSolvesReuseBufferStorage) {
+  const std::size_t dim = 5;
+  const auto model = quad_model(dim);
+  const auto ds = quadratic_dataset(40, dim, 2.0, 1.0, 3);
+  const std::vector<double> anchor(dim, 0.25);
+  auto opts = base_options();
+  opts.selection = IterateSelection::kUniformRandom;  // exercises snapshot
+  opts.sampling = Sampling::kShuffledEpochs;          // exercises permutation
+  opts.compute_diagnostics = true;                    // exercises grad_j
+  const LocalSolver solver(model, opts);
+
+  SolverWorkspace ws;
+  std::vector<double> w_out;
+  Rng rng(17);
+  for (int warm = 0; warm < 2; ++warm) {
+    (void)solver.solve(ds, anchor, rng, ws, w_out);
+  }
+  const auto storage = [&] {
+    return std::multiset<const void*>{
+        ws.w_prev.data(),   ws.w_curr.data(),   ws.step.data(),
+        ws.v.data(),        ws.grad_curr.data(), ws.grad_ref.data(),
+        ws.v0.data(),       ws.anchor_w.data(), ws.snapshot.data(),
+        ws.grad_j.data(),   ws.batch.data(),    ws.full_idx.data(),
+        ws.permutation.data(), w_out.data()};
+  };
+  const auto warm_storage = storage();
+  for (int round = 0; round < 10; ++round) {
+    (void)solver.solve(ds, anchor, rng, ws, w_out);
+    EXPECT_EQ(storage(), warm_storage) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace fedvr::opt

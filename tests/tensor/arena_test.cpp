@@ -1,0 +1,161 @@
+// Arena / Workspace: the preallocated scratch discipline behind the
+// zero-allocation hot paths. These tests pin the allocator contract the
+// kernels and solver workspaces rely on: alignment, LIFO scope rewind,
+// overflow fallback with regrow, the trim policy, and per-thread
+// isolation of scratch_arena().
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/arena.h"
+#include "tensor/kernels.h"
+#include "util/thread_pool.h"
+
+namespace fedvr::tensor {
+namespace {
+
+bool aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % Arena::kAlignment == 0;
+}
+
+TEST(Arena, SpansAreCacheLineAligned) {
+  Arena arena(1 << 12);
+  Workspace ws(arena);
+  // Deliberately awkward sizes: every span must still come back aligned.
+  for (std::size_t count : {1U, 3U, 7U, 13U, 64U, 65U}) {
+    EXPECT_TRUE(aligned(ws.alloc<double>(count).data())) << count;
+    EXPECT_TRUE(aligned(ws.alloc<std::uint8_t>(count).data())) << count;
+  }
+}
+
+TEST(Arena, ScopeExitRewindsCursorAndReusesStorage) {
+  Arena arena(1 << 12);
+  double* first = nullptr;
+  {
+    Workspace ws(arena);
+    first = ws.alloc<double>(100).data();
+    EXPECT_GT(arena.used_bytes(), 0U);
+  }
+  EXPECT_EQ(arena.used_bytes(), 0U);
+  const std::uint64_t heap_before = arena.stats().heap_events;
+  // Steady state: the next scope gets the same storage back, with no new
+  // heap traffic.
+  for (int round = 0; round < 10; ++round) {
+    Workspace ws(arena);
+    EXPECT_EQ(ws.alloc<double>(100).data(), first);
+  }
+  EXPECT_EQ(arena.stats().heap_events, heap_before);
+}
+
+TEST(Arena, NestedScopesRewindLifo) {
+  Arena arena(1 << 12);
+  Workspace outer(arena);
+  (void)outer.alloc<double>(8);
+  const std::size_t outer_used = arena.used_bytes();
+  double* inner_ptr = nullptr;
+  {
+    Workspace inner(arena);
+    inner_ptr = inner.alloc<double>(8).data();
+    EXPECT_GT(arena.used_bytes(), outer_used);
+  }
+  EXPECT_EQ(arena.used_bytes(), outer_used);
+  // The inner slot is free again: a sibling scope re-serves the same spot.
+  Workspace sibling(arena);
+  EXPECT_EQ(sibling.alloc<double>(8).data(), inner_ptr);
+}
+
+TEST(Arena, OverCapacityRequestsFallBackToHeapThenRegrow) {
+  Arena arena(/*capacity_bytes=*/128);
+  {
+    Workspace ws(arena);
+    auto big = ws.alloc<double>(1024);  // 8 KiB >> 128 B slab
+    EXPECT_EQ(big.size(), 1024U);
+    EXPECT_TRUE(aligned(big.data()));
+    big[0] = 1.0;
+    big[1023] = 2.0;  // the whole span must be writable
+    EXPECT_EQ(big[0] + big[1023], 3.0);
+  }
+  EXPECT_GE(arena.stats().overflow_allocs, 1U);
+  // End of episode regrew the slab: the same request now fits.
+  EXPECT_GE(arena.capacity_bytes(), 1024 * sizeof(double));
+  const std::uint64_t overflows = arena.stats().overflow_allocs;
+  const std::uint64_t heap_before = arena.stats().heap_events;
+  {
+    Workspace ws(arena);
+    (void)ws.alloc<double>(1024);
+  }
+  EXPECT_EQ(arena.stats().overflow_allocs, overflows);
+  EXPECT_EQ(arena.stats().heap_events, heap_before);
+}
+
+TEST(Arena, TrimShrinksSlabAfterSmallEpisode) {
+  Arena arena(/*capacity_bytes=*/0, /*trim_bytes=*/1 << 10);
+  {
+    Workspace ws(arena);
+    (void)ws.alloc<double>(4096);  // 32 KiB episode grows the slab
+  }
+  EXPECT_GE(arena.capacity_bytes(), 4096 * sizeof(double));
+  {
+    Workspace ws(arena);
+    (void)ws.alloc<double>(16);  // tiny episode under the trim cap
+  }
+  EXPECT_LE(arena.capacity_bytes(), std::size_t{1} << 10);
+}
+
+TEST(Arena, StatsTrackHighWaterAcrossScopes) {
+  Arena arena(1 << 14);
+  {
+    Workspace ws(arena);
+    (void)ws.alloc<double>(256);
+    (void)ws.alloc<double>(256);
+  }
+  EXPECT_GE(arena.stats().high_water_bytes, 2 * 256 * sizeof(double));
+  EXPECT_EQ(arena.stats().span_allocs, 2U);
+}
+
+TEST(Arena, ScratchArenaIsPerThread) {
+  Arena* main_arena = &scratch_arena();
+  Arena* other_arena = nullptr;
+  std::thread t([&] { other_arena = &scratch_arena(); });
+  t.join();
+  ASSERT_NE(other_arena, nullptr);
+  EXPECT_NE(main_arena, other_arena);
+  EXPECT_EQ(main_arena, &scratch_arena());
+}
+
+TEST(Arena, PoolWorkersUseIsolatedArenas) {
+  util::ThreadPool& pool = util::ThreadPool::global();
+  // Each task records its thread's arena; per-thread arenas mean no two
+  // concurrently-running tasks can collide on scratch, which is what lets
+  // kernels use workspaces from inside parallel_for bodies.
+  std::vector<Arena*> seen(8, nullptr);
+  pool.parallel_for(0, seen.size(), [&](std::size_t i) {
+    Workspace ws(scratch_arena());
+    auto s = ws.alloc<double>(64);
+    s[0] = static_cast<double>(i);
+    seen[i] = &scratch_arena();
+    EXPECT_EQ(s[0], static_cast<double>(i));
+  });
+  for (Arena* a : seen) EXPECT_NE(a, nullptr);
+}
+
+TEST(Arena, HeapEventCounterIsFlatInSteadyState) {
+  Arena& arena = scratch_arena();
+  // Warm up with the episode shape, then demand zero heap events.
+  for (int warm = 0; warm < 2; ++warm) {
+    Workspace ws(arena);
+    (void)ws.alloc<double>(512);
+  }
+  const std::uint64_t before = arena_heap_events();
+  for (int round = 0; round < 100; ++round) {
+    Workspace ws(arena);
+    auto s = ws.alloc<double>(512);
+    s[511] = static_cast<double>(round);
+  }
+  EXPECT_EQ(arena_heap_events(), before);
+}
+
+}  // namespace
+}  // namespace fedvr::tensor

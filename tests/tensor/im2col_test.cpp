@@ -155,6 +155,78 @@ TEST(Col2im, AccumulatesOntoImage) {
   EXPECT_DOUBLE_EQ(image[3], 14);
 }
 
+TEST(Im2col, StridedVariantMatchesPackedPerSample) {
+  // Lowering B samples side by side into one (col_rows x B*out_pixels)
+  // block must reproduce, column-slice by column-slice, what the packed
+  // overload produces per sample — on both the stride-1 fast path and the
+  // generic strided path.
+  const std::vector<ConvGeometry> geometries = {
+      {.channels = 2, .height = 5, .width = 4, .kernel_h = 3, .kernel_w = 3,
+       .pad = 1, .stride = 1},
+      {.channels = 1, .height = 6, .width = 6, .kernel_h = 3, .kernel_w = 2,
+       .pad = 2, .stride = 2},
+  };
+  Rng rng(23);
+  for (const auto& g : geometries) {
+    constexpr std::size_t kBatch = 3;
+    const std::size_t pixels = g.out_pixels();
+    const std::size_t ld = kBatch * pixels;
+    std::vector<std::vector<double>> images(kBatch,
+                                            std::vector<double>(g.image_size()));
+    for (auto& img : images) {
+      for (auto& v : img) v = rng.normal();
+    }
+    std::vector<double> block(g.col_rows() * ld);
+    for (std::size_t s = 0; s < kBatch; ++s) {
+      im2col(g, images[s], block, ld, s * pixels);
+    }
+    std::vector<double> packed(g.col_rows() * pixels);
+    for (std::size_t s = 0; s < kBatch; ++s) {
+      im2col(g, images[s], packed);
+      for (std::size_t r = 0; r < g.col_rows(); ++r) {
+        for (std::size_t px = 0; px < pixels; ++px) {
+          EXPECT_EQ(block[r * ld + s * pixels + px], packed[r * pixels + px])
+              << "sample " << s << " row " << r << " pixel " << px;
+        }
+      }
+    }
+  }
+}
+
+TEST(Col2im, StridedVariantMatchesPackedPerSample) {
+  const std::vector<ConvGeometry> geometries = {
+      {.channels = 2, .height = 5, .width = 4, .kernel_h = 3, .kernel_w = 3,
+       .pad = 1, .stride = 1},
+      {.channels = 1, .height = 6, .width = 6, .kernel_h = 3, .kernel_w = 2,
+       .pad = 2, .stride = 2},
+  };
+  Rng rng(29);
+  for (const auto& g : geometries) {
+    constexpr std::size_t kBatch = 3;
+    const std::size_t pixels = g.out_pixels();
+    const std::size_t ld = kBatch * pixels;
+    std::vector<double> block(g.col_rows() * ld);
+    for (auto& v : block) v = rng.normal();
+    for (std::size_t s = 0; s < kBatch; ++s) {
+      // Scatter sample s's slice of the batched block...
+      std::vector<double> from_strided(g.image_size(), 0.0);
+      col2im(g, block, from_strided, ld, s * pixels);
+      // ...and the same slice, repacked, through the packed overload.
+      std::vector<double> slice(g.col_rows() * pixels);
+      for (std::size_t r = 0; r < g.col_rows(); ++r) {
+        for (std::size_t px = 0; px < pixels; ++px) {
+          slice[r * pixels + px] = block[r * ld + s * pixels + px];
+        }
+      }
+      std::vector<double> from_packed(g.image_size(), 0.0);
+      col2im(g, slice, from_packed);
+      for (std::size_t i = 0; i < g.image_size(); ++i) {
+        EXPECT_EQ(from_strided[i], from_packed[i]) << "sample " << s;
+      }
+    }
+  }
+}
+
 TEST(Im2col, KernelLargerThanPaddedImageThrows) {
   if (!check::active()) GTEST_SKIP() << "fedvr::check inactive";
   ConvGeometry g{.channels = 1,

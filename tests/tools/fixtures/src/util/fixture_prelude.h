@@ -14,6 +14,9 @@ using uint64_t = unsigned long long;
 
 template <typename T>
 struct vector {
+  vector();
+  explicit vector(size_t n);
+  vector(size_t n, const T& v);
   T& operator[](size_t i);
   const T& operator[](size_t i) const;
   T* begin();
@@ -21,6 +24,9 @@ struct vector {
   const T* begin() const;
   const T* end() const;
   void push_back(const T& v);
+  void emplace_back(const T& v);
+  void resize(size_t n);
+  void reserve(size_t n);
   size_t size() const;
 };
 

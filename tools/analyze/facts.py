@@ -75,6 +75,18 @@ class BannedUseFact:
     spelling: str
 
 
+@dataclass(frozen=True)
+class HotLoopAllocFact:
+    """A heap allocation (or potential growth) inside a loop body: a
+    sized vector construction, a .resize()/.push_back()/.emplace_back()
+    growth call, or a new-expression. Hot-path directories must hoist
+    these into reused workspace buffers (push_back is exempt when the
+    container was reserve()d in the same file)."""
+    line: int
+    kind: str  # "vector-construct" | "resize" | "push-back" | "new"
+    spelling: str
+
+
 Fact = (
     RngSeedFact
     | UnorderedIterationFact
@@ -82,6 +94,7 @@ Fact = (
     | WallclockFact
     | FpAccumulationFact
     | BannedUseFact
+    | HotLoopAllocFact
 )
 
 

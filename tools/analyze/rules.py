@@ -20,6 +20,7 @@ from .facts import (
     FileFacts,
     Finding,
     FpAccumulationFact,
+    HotLoopAllocFact,
     ParallelWriteFact,
     RngSeedFact,
     UnorderedIterationFact,
@@ -36,6 +37,10 @@ UNORDERED_DIRS = REDUCTION_DIRS + ("src/tensor/",)
 FP_SEAM_FILES = ("src/fl/aggregation.", "src/tensor/vecops.")
 
 WALLCLOCK_EXEMPT = ("src/obs/", "src/util/stopwatch.h")
+
+# Directories whose loops are per-round / per-iteration hot paths: a heap
+# allocation inside one multiplies by rounds × devices × iterations.
+HOT_LOOP_DIRS = ("src/opt/", "src/tensor/", "src/core/")
 
 
 def _under(path: str, prefixes: tuple[str, ...]) -> bool:
@@ -87,6 +92,14 @@ RULES: list[Rule] = [
         "belongs in fl::Aggregator / tensor::vecops helpers, where the "
         "accumulation order is pinned (ascending, serial) and audited",
         lambda p: _under(p, REDUCTION_DIRS) and not _under(p, FP_SEAM_FILES),
+    ),
+    Rule(
+        "no-alloc-in-hot-loop",
+        "heap allocation inside a loop in the solver/tensor/core hot "
+        "paths (sized vector construction, resize/push_back growth, new): "
+        "construct the buffer once in a SolverWorkspace / tensor::Workspace "
+        "and reuse it; reserve() ahead of the loop exempts push_back",
+        lambda p: _under(p, HOT_LOOP_DIRS),
     ),
     # ---- ported from tools/lint.py (now call/token-expression precise) ----
     Rule(
@@ -170,6 +183,13 @@ def evaluate(ff: FileFacts) -> list[Finding]:
                     f"fp accumulation '{f.lhs} +=' over a collection "
                     "outside the sanctioned reduction helpers "
                     "(fl::Aggregator / tensor::vecops)"))
+        elif isinstance(f, HotLoopAllocFact):
+            if _rule_on("no-alloc-in-hot-loop", p):
+                out.append(Finding(
+                    "no-alloc-in-hot-loop", p, f.line,
+                    f"'{f.spelling}' inside a loop body allocates every "
+                    "iteration; hoist it into a reused workspace buffer "
+                    "(reserve() ahead of the loop exempts push_back)"))
         elif isinstance(f, BannedUseFact):
             if f.kind == "std-rand" and _rule_on("no-std-rand", p):
                 out.append(Finding(

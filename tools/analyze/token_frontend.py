@@ -16,6 +16,7 @@ from .facts import (
     BannedUseFact,
     FileFacts,
     FpAccumulationFact,
+    HotLoopAllocFact,
     ParallelWriteFact,
     RngSeedFact,
     UnorderedIterationFact,
@@ -37,6 +38,10 @@ WALLCLOCK_FN_NAMES = {
     "time", "clock", "clock_gettime", "gettimeofday", "timespec_get",
     "localtime", "gmtime", "mktime", "difftime",
 }
+
+# Container growth calls that may allocate; inside a hot-path loop body
+# they should be hoisted into a reused workspace buffer instead.
+GROWTH_CALL_NAMES = {"resize", "push_back", "emplace_back"}
 
 # Identifiers that must never appear in a (seed, device, round, stream)
 # derivation: wall time, addresses, or ambient randomness.
@@ -105,6 +110,7 @@ class _Scanner:
         self.atomic_vars: set[str] = set()
         self.loops: list[_Loop] = []
         self.lambda_defs: dict[str, _Lambda] = {}
+        self.reserved_vars: set[str] = set()
 
     # ---------------------------------------------------------------- decls
     def _collect_decls(self) -> None:
@@ -338,6 +344,37 @@ class _Scanner:
         # header tokens are in the body range only for nested loops — the
         # for-init decl matches the same `type id =` shape).
 
+    def _member_base(self, i: int) -> str:
+        """Base identifier of the postfix chain before a `.member` /
+        `->member` token at i (`locals[device].resize` → "locals")."""
+        j = i - 2
+        while j >= 0:
+            t = self.toks[j]
+            if t.text == "]":
+                open_ = match_backward(self.toks, j, "[", "]")
+                if open_ < 0:
+                    return ""
+                j = open_ - 1
+            elif t.kind == "id":
+                if j >= 1 and self.toks[j - 1].text in (".", "->", "::"):
+                    j -= 2
+                    continue
+                return t.text
+            else:
+                return ""
+        return ""
+
+    def _collect_reserved(self) -> None:
+        """Containers reserve()d anywhere in the file: push_back on them
+        is amortized-allocation-free, so the hot-loop rule exempts it."""
+        for i, t in enumerate(self.toks):
+            if (t.text == "reserve" and i >= 2
+                    and self.toks[i - 1].text in (".", "->")
+                    and i + 1 < self.n and self.toks[i + 1].text == "("):
+                base = self._member_base(i)
+                if base:
+                    self.reserved_vars.add(base)
+
     def _lhs_chain(self, k: int):
         """Walks back from the assignment op at k over a postfix chain
         (`a.b[i]`, `v[j]`, `x`): returns (base ident, subscript token
@@ -401,6 +438,7 @@ class _Scanner:
         self._collect_decls()
         self._collect_loops()
         self._collect_lambda_defs()
+        self._collect_reserved()
         toks = self.toks
         seen_lambda_starts: set[int] = set()
 
@@ -482,6 +520,8 @@ class _Scanner:
             elif t.text == "new" and (nxt == "(" or (i + 1 < self.n and
                                                      toks[i + 1].kind == "id")):
                 self.facts.append(BannedUseFact(t.line, "new", "new"))
+                if self._enclosing_loops(i):
+                    self.facts.append(HotLoopAllocFact(t.line, "new", "new"))
             elif t.text == "delete" and i + 1 < self.n and (
                     toks[i + 1].kind == "id" or nxt == "["):
                 self.facts.append(BannedUseFact(t.line, "delete", "delete"))
@@ -491,6 +531,31 @@ class _Scanner:
             elif t.text == "compress" and nxt == "(" and prev in (".", "->"):
                 self.facts.append(
                     BannedUseFact(t.line, "compress-call", t.text))
+
+            # ---- hot-loop allocations ------------------------------------
+            if t.text == "vector" and nxt == "<" and self._enclosing_loops(i):
+                close = self._match_angle(i + 1)
+                if close >= 0:
+                    k = close + 1
+                    # Only sized constructions (`vector<double> g(dim)`):
+                    # a reference binding (`vector<double>& g = ws.g`)
+                    # aliases an existing buffer and a default-constructed
+                    # vector allocates nothing.
+                    if (k < self.n and toks[k].kind == "id"
+                            and k + 1 < self.n
+                            and toks[k + 1].text in ("(", "{")):
+                        self.facts.append(HotLoopAllocFact(
+                            t.line, "vector-construct",
+                            f"std::vector {toks[k].text}(...)"))
+            elif (t.text in GROWTH_CALL_NAMES and nxt == "("
+                    and prev in (".", "->") and self._enclosing_loops(i)):
+                base = self._member_base(i)
+                if not (t.text in ("push_back", "emplace_back")
+                        and base in self.reserved_vars):
+                    kind = "resize" if t.text == "resize" else "push-back"
+                    spelling = f"{base}.{t.text}()" if base else f"{t.text}()"
+                    self.facts.append(
+                        HotLoopAllocFact(t.line, kind, spelling))
 
             # ---- fp accumulation -----------------------------------------
             if nxt == "+=":

@@ -44,12 +44,23 @@ def summarize(raw: dict) -> dict:
             "cpu_time_ns": round(b["cpu_time"], 1),
             "iterations": b["iterations"],
         }
+        # The *_ns keys are literal only for ns-unit benchmarks; ms-unit
+        # ones (micro_rounds) carry their unit explicitly.
+        if b.get("time_unit", "ns") != "ns":
+            row["time_unit"] = b["time_unit"]
         if "items_per_second" in b:
             # items == FLOPs for the GEMM benchmarks, so this is FLOP/s.
             row["items_per_second"] = round(b["items_per_second"], 1)
         if "bytes_per_second" in b:
             # Serialization benchmarks report input throughput in bytes/s.
             row["bytes_per_second"] = round(b["bytes_per_second"], 1)
+        # Round-throughput counters (micro_rounds): device activations/s,
+        # local solver updates/s, and arena heap events per round (the
+        # zero-allocation steady-state observable — expected ~0).
+        for key in ("devices_per_second", "updates_per_second",
+                    "allocs_per_round"):
+            if key in b:
+                row[key] = round(b[key], 2)
         if b.get("label"):
             row["label"] = b["label"]
         rows.append(row)
