@@ -210,16 +210,16 @@ int main(int argc, char** argv) {
     std::printf("%6zu  %12.5f  %10zu  %9zu  %12zu\n", r.round, r.train_loss,
                 r.corrupted_updates - prev_corrupted,
                 r.rejected_updates - prev_rejected,
-                r.quarantined_devices - prev_quarantined);
+                r.quarantined_device_rounds - prev_quarantined);
     prev_corrupted = r.corrupted_updates;
     prev_rejected = r.rejected_updates;
-    prev_quarantined = r.quarantined_devices;
+    prev_quarantined = r.quarantined_device_rounds;
   }
   std::printf("\ndefense totals: %zu corrupted updates delivered, %zu "
               "rejected, %zu quarantined device-rounds; final model %s\n",
               defended.back().corrupted_updates,
               defended.back().rejected_updates,
-              defended.back().quarantined_devices,
+              defended.back().quarantined_device_rounds,
               defended.diverged() ? "DIVERGED" : "healthy");
   return 0;
 }

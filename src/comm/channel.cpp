@@ -49,7 +49,15 @@ Channel::Channel(ChannelOptions options, std::size_t num_devices,
   FEDVR_CHECK_MSG(num_devices > 0, "channel needs >= 1 device");
   FEDVR_CHECK_MSG(dim > 0, "channel needs dim >= 1");
   options_.validate();
-  if (options_.error_feedback) ef_ = ErrorFeedback(num_devices, dim);
+  // Keyed (lazy) residual storage: slots appear via prepare()/first uplink,
+  // so a sampled run over a million-device fleet never allocates N·dim of
+  // residual state.
+  if (options_.error_feedback) ef_ = ErrorFeedback(dim);
+}
+
+void Channel::prepare(std::span<const std::size_t> devices) {
+  if (!options_.error_feedback) return;
+  for (const std::size_t device : devices) ef_.ensure(device);
 }
 
 std::size_t Channel::uplink(std::size_t device, std::span<double> delta,
@@ -63,9 +71,11 @@ std::size_t Channel::uplink(std::size_t device, std::span<double> delta,
     return uplink_wire_bytes();
   }
   // Error-feedback recursion (error_feedback.h): compensate, transmit,
-  // absorb the round's compression + quantization error.
+  // absorb the round's compression + quantization error. The lazy ensure()
+  // covers serial callers; parallel callers must prepare() first.
   std::vector<double> corrected;
   if (options_.error_feedback) {
+    if (!ef_.has(device)) ef_.ensure(device);
     ef_.compensate(device, delta);
     corrected.assign(delta.begin(), delta.end());
   }

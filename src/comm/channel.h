@@ -89,13 +89,24 @@ struct ChannelOptions {
 
 class Channel {
  public:
-  /// A channel for `num_devices` devices exchanging dim-sized vectors.
+  /// A channel for a fleet of `num_devices` devices exchanging dim-sized
+  /// vectors. Per-device state (error-feedback residuals) is keyed by
+  /// device and registered on first use, so the channel's footprint scales
+  /// with the devices that actually uplink, not the fleet size.
   Channel(ChannelOptions options, std::size_t num_devices, std::size_t dim);
+
+  /// Serially registers per-device channel state (error-feedback residual
+  /// slots) for the given devices. REQUIRED before uplinking a device from
+  /// a parallel section — uplink() lazily registers missing slots, which
+  /// is only safe single-threaded. No-op devices already registered and
+  /// the whole call is a no-op when the channel keeps no per-device state.
+  void prepare(std::span<const std::size_t> devices);
 
   /// Transmits one update delta for `device`: error-feedback compensation,
   /// compression, serialization, and server-side decode back into `delta`
   /// (on return, `delta` is exactly the reconstruction the server
   /// aggregates). Returns the serialized message size actually sent.
+  /// Thread-safe across distinct prepared devices.
   std::size_t uplink(std::size_t device, std::span<double> delta,
                      util::Rng& rng);
 

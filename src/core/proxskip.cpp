@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "check/check.h"
+#include "fl/event_engine.h"
 #include "fl/trainer.h"
 #include "opt/workspace.h"
 #include "tensor/vecops.h"
@@ -67,7 +68,10 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
   // Per-device state in flat num_devices×dim slabs: one allocation each for
   // the whole run instead of num_devices heap vectors per array, and
   // device n's view is a subspan. Each view is touched only from its own
-  // device's parallel_for index (determinism contract).
+  // device's parallel_for index (determinism contract). ProxSkip-VR is a
+  // full-participation algorithm — every device holds a live iterate and
+  // control variate between rounds — so O(N·dim) state is inherent here;
+  // the sampled O(m·dim) engine is fl::Trainer.
   std::vector<double> x_slab(num_devices * dim);  // local iterates
   for (std::size_t n = 0; n < num_devices; ++n) {
     std::copy(anchor.begin(), anchor.end(),
@@ -118,6 +122,7 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
   std::size_t total_uplink_bytes = 0;
   std::size_t total_downlink_bytes = 0;
   std::size_t total_dropped = 0;
+  std::size_t total_undelivered = 0;
   std::size_t total_stragglers = 0;
   std::size_t total_uplink_retries = 0;
 
@@ -143,6 +148,7 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
     m.sample_grad_evals =
         std::accumulate(grad_evals.begin(), grad_evals.end(), std::size_t{0});
     m.dropped_devices = total_dropped;
+    m.undelivered_updates = total_undelivered;
     m.straggler_devices = total_stragglers;
     m.uplink_retries = total_uplink_retries;
     m.realized_round_time = realized_round_time;
@@ -150,15 +156,28 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
     trace.rounds.push_back(m);
   };
 
-  if (options.eval_initial) record(0, 0.0);
+  bool target_reached = false;
+  if (options.eval_initial) {
+    record(0, 0.0);
+    // Early stop can trigger at round 0: a run whose starting model already
+    // meets target_accuracy pays for no iterations at all. (The target
+    // check used to live only inside the iteration loop, so such a run
+    // still paid a full iteration before stopping.)
+    if (options.target_accuracy.has_value() &&
+        trace.rounds.back().test_accuracy >= *options.target_accuracy) {
+      target_reached = true;
+    }
+  }
 
   std::vector<double> x_next(dim, 0.0);
   // Head-round survivor bookkeeping, hoisted so capacity is reused.
-  std::vector<std::size_t> survivors;
   std::vector<double> survivor_weights;
-  survivors.reserve(num_devices);
+  std::vector<std::size_t> uplinkers;
   survivor_weights.reserve(num_devices);
-  bool target_reached = false;
+  uplinkers.reserve(num_devices);
+  // The iteration as a discrete-event schedule (fl/event_engine.h): slot n
+  // is device n (full participation).
+  fl::RoundSchedule schedule;
 
   for (std::size_t t = 1; t <= options.iterations && !target_reached; ++t) {
     // The shared skip coin: one draw per iteration, device coordinate 0 of
@@ -170,6 +189,42 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
       events[n] = options.faults.sample(options.seed, n, t);
     }
     std::fill(realized_uplink.begin(), realized_uplink.end(), 0);
+
+    // Build the event schedule before any device runs: completion
+    // timestamps are d_cmp·slowdown (tau = 1 local step) plus, on
+    // communication rounds, d_com times the retry backoff multiplier. No
+    // deadline here — the realized round time is the last non-crashed
+    // arrival, and the survivor set is exactly the devices whose proposal
+    // reaches the prox step.
+    std::vector<fl::ParticipantOutcome>& outcomes =
+        schedule.reset(num_devices);
+    for (std::size_t n = 0; n < num_devices; ++n) {
+      const fl::FaultEvent& e = events[n];
+      fl::ParticipantOutcome& oc = outcomes[n];
+      oc.device = n;
+      if (e.dropped) {
+        oc.crashed = true;
+        continue;
+      }
+      double t_n = timing.d_cmp * e.slowdown;
+      if (communicate) t_n += timing.d_com * e.com_multiplier(backoff);
+      oc.completion_time = t_n;
+      oc.undelivered = communicate && e.uplink_failed;
+    }
+    schedule.build(std::nullopt);
+
+    if (communicate && options.comm.error_feedback) {
+      // Serial registration of this round's uplinkers' error-feedback
+      // residual slots: the parallel section below must never mutate keyed
+      // channel state.
+      uplinkers.clear();
+      for (std::size_t n = 0; n < num_devices; ++n) {
+        if (!events[n].dropped && !events[n].uplink_failed) {
+          uplinkers.push_back(n);
+        }
+      }
+      channel.prepare(uplinkers);
+    }
 
     // Local step (Alg. line "x̂ = x − γ(g − h)") on every live device.
     for_each_device([&](std::size_t n) {
@@ -220,7 +275,6 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
     });
 
     // ---- Serial accounting & (on heads) the consensus prox step. ----
-    double realized_round_time = 0.0;
     for (std::size_t n = 0; n < num_devices; ++n) {
       const fl::FaultEvent& e = events[n];
       if (e.dropped) {
@@ -228,14 +282,16 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
         continue;  // a crash is detected immediately: no time charged
       }
       if (e.straggler) ++total_stragglers;
-      double t_n = timing.d_cmp * e.slowdown;  // tau = 1 local step
       if (communicate) {
         total_uplink_retries += e.uplink_retries;
-        if (e.uplink_failed) ++total_dropped;
-        t_n += timing.d_com * e.com_multiplier(backoff);
+        // Transmitted but lost after the retry budget: undelivered, not
+        // "dropped" — dropped counts crashes only (CSV schema v2).
+        if (e.uplink_failed) ++total_undelivered;
       }
-      realized_round_time = std::max(realized_round_time, t_n);
     }
+    // The iteration costs model time until the event queue drains: the last
+    // non-crashed arrival's timestamp from the schedule built above.
+    const double realized_round_time = schedule.realized_round_time();
     model_time += realized_round_time;
 
     if (communicate) {
@@ -250,15 +306,15 @@ fl::TrainingTrace run_proxskip_vr(std::shared_ptr<const nn::Model> model,
         total_uplink_bytes += events[n].uplink_attempts() * per_attempt;
       }
 
-      survivors.clear();
+      // Survivors straight off the event schedule (slot == device here):
+      // not crashed, proposal delivered — ascending device order.
+      const std::span<const std::size_t> survivors = schedule.survivors();
       survivor_weights.clear();
-      for (std::size_t n = 0; n < num_devices; ++n) {
-        if (!events[n].delivers_update()) continue;
-        survivors.push_back(n);
+      for (const std::size_t n : survivors) {
         survivor_weights.push_back(fed.weight(n));
       }
-      // Ascending device order, reduced through the sanctioned helper —
-      // bit-identical to the historical inline accumulation.
+      // Reduced through the sanctioned helper — bit-identical to the
+      // historical inline accumulation.
       const double weight_sum = tensor::sum(survivor_weights);
       if (!survivors.empty()) {
         total_downlink_bytes += num_devices * channel.downlink_wire_bytes();

@@ -69,6 +69,10 @@ bool TrainingTrace::diverged(double factor) const {
 }
 
 void TrainingTrace::write_csv(const std::string& path) const {
+  // CSV schema v2 (DESIGN.md §11): dropped_devices narrowed to crashes
+  // only, quarantined_devices renamed to quarantined_device_rounds (it
+  // always counted device-rounds), and undelivered_updates appended. Column
+  // order is otherwise unchanged.
   util::CsvWriter csv(path,
                       {"algorithm", "round", "train_loss", "test_accuracy",
                        "grad_norm_sq", "model_time", "wall_seconds",
@@ -77,8 +81,9 @@ void TrainingTrace::write_csv(const std::string& path) const {
                        "uplink_retries", "deadline_misses",
                        "realized_round_time", "t_broadcast", "t_local_solve",
                        "t_aggregate", "t_eval", "corrupted_updates",
-                       "rejected_updates", "quarantined_devices",
-                       "uplink_bytes", "downlink_bytes"});
+                       "rejected_updates", "quarantined_device_rounds",
+                       "uplink_bytes", "downlink_bytes",
+                       "undelivered_updates"});
   for (const auto& r : rounds) {
     // Measured phase columns are -1 when the run was not profiled, matching
     // the grad_norm_sq "not evaluated" convention.
@@ -107,9 +112,10 @@ void TrainingTrace::write_csv(const std::string& path) const {
         .add(timings.eval)
         .add(r.corrupted_updates)
         .add(r.rejected_updates)
-        .add(r.quarantined_devices)
+        .add(r.quarantined_device_rounds)
         .add(r.uplink_bytes)
         .add(r.downlink_bytes)
+        .add(r.undelivered_updates)
         .commit();
   }
 }

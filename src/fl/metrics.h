@@ -55,14 +55,20 @@ struct RoundMetrics {
   std::size_t sample_grad_evals = 0; // per-sample gradient evaluations
 
   // Fault accounting (cumulative since round 1; all zero when the run's
-  // FaultModel is disabled and no round_deadline is set):
-  std::size_t dropped_devices = 0;   // participants that delivered no update
-                                     // (crash, uplink exhaustion, or
-                                     // deadline miss)
+  // FaultModel is disabled and no round_deadline is set). dropped_devices
+  // and undelivered_updates were one conflated counter before the v2 CSV
+  // schema (DESIGN.md §11): "dropped" now means crashes ONLY.
+  std::size_t dropped_devices = 0;   // crashed participants (computed
+                                     // nothing, transmitted nothing)
+  std::size_t undelivered_updates = 0; // participants that computed and
+                                       // transmitted but whose update never
+                                       // reached aggregation: deadline miss
+                                       // or uplink exhaustion (counted once
+                                       // when both apply)
   std::size_t straggler_devices = 0; // straggler slowdown events
   std::size_t uplink_retries = 0;    // uplink retransmissions
   std::size_t deadline_misses = 0;   // deadline-missed devices (a subset of
-                                     // dropped_devices)
+                                     // undelivered_updates)
 
   // Corruption & server-defense accounting (cumulative since round 1; all
   // zero when no update corruption fires and no defense rejects anything):
@@ -70,8 +76,10 @@ struct RoundMetrics {
                                        // corrupted (NaN/sign/scale/stale)
   std::size_t rejected_updates = 0;    // updates rejected by server-side
                                        // validation before aggregation
-  std::size_t quarantined_devices = 0; // device-rounds skipped because the
-                                       // device was quarantined
+  std::size_t quarantined_device_rounds = 0; // device-rounds skipped because
+                                             // the device was quarantined
+                                             // (one device quarantined for 5
+                                             // rounds counts 5)
 
   /// Realized synchronous-barrier time of THIS round (not cumulative): the
   /// max over participants' fault-adjusted round times, capped at

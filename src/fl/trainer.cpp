@@ -4,8 +4,10 @@
 #include <fstream>
 #include <limits>
 #include <numeric>
+#include <unordered_map>
 
 #include "check/check.h"
+#include "fl/event_engine.h"
 #include "obs/obs.h"
 #include "opt/workspace.h"
 #include "obs/profiler.h"
@@ -42,25 +44,30 @@ class ScopedObsEnable {
 
 Trainer::Trainer(std::shared_ptr<const nn::Model> model,
                  const data::FederatedDataset& fed, TrainerOptions options)
-    : model_(std::move(model)),
-      fed_(fed),
-      options_(options),
-      pooled_test_(fed.pooled_test()) {
+    : Trainer(std::move(model),
+              std::make_shared<const data::InMemoryFederation>(fed),
+              std::move(options)) {}
+
+Trainer::Trainer(std::shared_ptr<const nn::Model> model,
+                 std::shared_ptr<const data::Federation> fed,
+                 TrainerOptions options)
+    : model_(std::move(model)), fed_(std::move(fed)), options_(options) {
   // All constructor validation is ALWAYS-ON (util/error.h macros, not the
   // FEDVR_CHECKS-gated layer): a Release/no-checks build must reject a
   // malformed configuration loudly, not train garbage. Tested under
   // check::set_enabled(false).
   FEDVR_CHECK(model_ != nullptr);
-  FEDVR_CHECK_MSG(fed_.num_devices() > 0, "need at least one device");
+  FEDVR_CHECK(fed_ != nullptr);
+  FEDVR_CHECK_MSG(fed_->num_devices() > 0, "need at least one device");
   FEDVR_CHECK_MSG(options_.rounds >= 1, "rounds must be >= 1, got 0");
   FEDVR_CHECK_MSG(options_.eval_every >= 1,
                   "eval_every must be >= 1 (0 would evaluate nothing and "
                   "divide by zero on the eval cadence)");
   if (options_.devices_per_round) {
     FEDVR_CHECK_MSG(*options_.devices_per_round >= 1 &&
-                        *options_.devices_per_round <= fed_.num_devices(),
+                        *options_.devices_per_round <= fed_->num_devices(),
                     "devices_per_round must be in [1, "
-                        << fed_.num_devices() << "], got "
+                        << fed_->num_devices() << "], got "
                         << *options_.devices_per_round);
   }
   options_.defense.validate();
@@ -74,7 +81,7 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
   }
   options_.comm.validate();
   FEDVR_CHECK_MSG(options_.per_device_timing.empty() ||
-                      options_.per_device_timing.size() == fed_.num_devices(),
+                      options_.per_device_timing.size() == fed_->num_devices(),
                   "per_device_timing needs one entry per device");
   // Fail fast on malformed timing models (always-on validation — a release
   // build must reject d_com <= 0 here, not silently produce garbage time).
@@ -85,8 +92,11 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
                     "round_deadline must be positive, got "
                         << *options_.round_deadline);
   }
-  for (std::size_t n = 0; n < fed_.num_devices(); ++n) {
-    FEDVR_CHECK_MSG(!fed_.train[n].empty(),
+  // Shard-size validation goes through device_train_size (O(1) per device,
+  // no materialization): an empty shard would divide by zero in the local
+  // solver's sampling and produce a zero aggregation weight.
+  for (std::size_t n = 0; n < fed_->num_devices(); ++n) {
+    FEDVR_CHECK_MSG(fed_->device_train_size(n) > 0,
                     "device " << n << " has no training data");
   }
 }
@@ -95,15 +105,18 @@ Trainer::Trainer(std::shared_ptr<const nn::Model> model,
 // fan out across the pool. Determinism across pool sizes holds because
 // every floating-point reduction happens serially in ascending device (or
 // chunk) order over per-device partials — only the independent per-device
-// work is scheduled onto threads.
+// work is scheduled onto threads. Global metrics are inherently O(fleet):
+// sampled large-fleet runs keep eval_every high (or rely on param hashes)
+// instead of paying a million-shard materialization per round.
 
 double Trainer::global_loss(std::span<const double> w) const {
-  const std::size_t num_devices = fed_.num_devices();
+  const std::size_t num_devices = fed_->num_devices();
   std::vector<double> per_device(num_devices, 0.0);
   std::vector<double> weights(num_devices, 0.0);
   util::ThreadPool::global().parallel_for(0, num_devices, [&](std::size_t n) {
-    per_device[n] = model_->full_loss(w, fed_.train[n]);
-    weights[n] = fed_.weight(n);
+    data::Dataset scratch;
+    per_device[n] = model_->full_loss(w, fed_->train(n, scratch));
+    weights[n] = fed_->weight(n);
   });
   // Σ_n p_n F_n via the sanctioned serial ascending reduction — same
   // accumulation order as the historical inline loop, so traces stay
@@ -113,7 +126,7 @@ double Trainer::global_loss(std::span<const double> w) const {
 
 double Trainer::global_grad_norm_sq(std::span<const double> w) const {
   const std::size_t dim = model_->num_parameters();
-  const std::size_t num_devices = fed_.num_devices();
+  const std::size_t num_devices = fed_->num_devices();
   // Per-device gradients land in wave-local scratch (kWave * dim bounds the
   // footprint however many devices there are) and are folded into the total
   // serially, ascending by device index.
@@ -124,12 +137,13 @@ double Trainer::global_grad_norm_sq(std::span<const double> w) const {
   for (std::size_t base = 0; base < num_devices; base += wave) {
     const std::size_t count = std::min(wave, num_devices - base);
     util::ThreadPool::global().parallel_for(0, count, [&](std::size_t i) {
+      data::Dataset ds_scratch;
       (void)model_->full_gradient(
-          w, fed_.train[base + i],
+          w, fed_->train(base + i, ds_scratch),
           std::span<double>(scratch).subspan(i * dim, dim));
     });
     for (std::size_t i = 0; i < count; ++i) {
-      tensor::axpy(fed_.weight(base + i),
+      tensor::axpy(fed_->weight(base + i),
                    std::span<const double>(scratch).subspan(i * dim, dim),
                    total);
     }
@@ -138,8 +152,9 @@ double Trainer::global_grad_norm_sq(std::span<const double> w) const {
 }
 
 double Trainer::test_accuracy(std::span<const double> w) const {
-  FEDVR_CHECK(!pooled_test_.empty());
-  const std::size_t size = pooled_test_.size();
+  const data::Dataset& pooled = fed_->pooled_test();
+  FEDVR_CHECK(!pooled.empty());
+  const std::size_t size = pooled.size();
   // Fixed-size chunks (never pool-sized) keep the per-sample forward-pass
   // batching identical across pool sizes; the correct-count reduction is
   // integer arithmetic, so it is order-independent anyway.
@@ -150,13 +165,13 @@ double Trainer::test_accuracy(std::span<const double> w) const {
   util::ThreadPool::global().parallel_for(0, nchunks, [&](std::size_t c) {
     const std::size_t lo = c * kChunk;
     const std::size_t len = std::min(kChunk, size - lo);
-    model_->predict(w, pooled_test_,
+    model_->predict(w, pooled,
                     std::span<const std::size_t>(indices).subspan(lo, len),
                     std::span<std::size_t>(predicted).subspan(lo, len));
   });
   std::size_t correct = 0;
   for (std::size_t i = 0; i < size; ++i) {
-    if (predicted[i] == static_cast<std::size_t>(pooled_test_.label(i))) {
+    if (predicted[i] == static_cast<std::size_t>(pooled.label(i))) {
       ++correct;
     }
   }
@@ -175,9 +190,9 @@ TrainingTrace Trainer::run(const opt::LocalSolver& solver,
 TrainingTrace Trainer::run(std::span<const opt::LocalSolver> solvers,
                            const std::string& name,
                            std::optional<std::vector<double>> w0) const {
-  FEDVR_CHECK_MSG(solvers.size() == fed_.num_devices(),
+  FEDVR_CHECK_MSG(solvers.size() == fed_->num_devices(),
                   "got " << solvers.size() << " solvers for "
-                         << fed_.num_devices() << " devices");
+                         << fed_->num_devices() << " devices");
   // Synchronous rounds wait for the slowest device.
   std::size_t max_tau = 0;
   for (const auto& s : solvers) {
@@ -194,7 +209,7 @@ TrainingTrace Trainer::run_impl(
     std::size_t timing_tau, const std::string& name,
     std::optional<std::vector<double>> w0) const {
   const std::size_t dim = model_->num_parameters();
-  const std::size_t num_devices = fed_.num_devices();
+  const std::size_t num_devices = fed_->num_devices();
 
   std::vector<double> w_global;
   if (w0.has_value()) {
@@ -215,6 +230,11 @@ TrainingTrace Trainer::run_impl(
   ScopedObsEnable obs_guard(obs_on);
   obs::RoundProfiler profiler(obs_on);
 
+  // Early stop can trigger at round 0: a run whose starting model already
+  // meets target_accuracy pays for no rounds at all. (The target check used
+  // to live only inside the round loop, so such a run still trained a full
+  // round before stopping.)
+  bool target_reached = false;
   if (options_.eval_initial) {
     RoundMetrics m;
     m.round = 0;
@@ -224,11 +244,20 @@ TrainingTrace Trainer::run_impl(
       m.grad_norm_sq = global_grad_norm_sq(w_global);
     }
     trace.rounds.push_back(m);
+    if (options_.target_accuracy &&
+        m.test_accuracy >= *options_.target_accuracy) {
+      target_reached = true;
+    }
   }
 
-  std::vector<std::vector<double>> locals(num_devices);
-  std::vector<double> thetas(num_devices, -1.0);
-  std::vector<std::size_t> grad_evals(num_devices, 0);
+  // Round state keyed by participant SLOT (index into this round's
+  // `participants`), never by device id: every buffer is sized by the
+  // participant count m, so a round costs O(m·dim) memory at any fleet
+  // size. Buffers keep their capacity across rounds — a steady-state round
+  // allocates nothing here.
+  std::vector<std::vector<double>> locals;   // slot-keyed local models
+  std::vector<double> thetas;                // slot-keyed θ diagnostics
+  std::vector<std::size_t> grad_evals;       // slot-keyed, this round
   std::size_t total_uplink_bytes = 0;
   std::size_t total_downlink_bytes = 0;
   std::size_t total_grad_evals = 0;
@@ -236,19 +265,20 @@ TrainingTrace Trainer::run_impl(
   // The device<->server link (src/comm): every uplink flows through the
   // channel — error feedback, compression, serialization — and all byte
   // accounting is measured from serialized comm::Message sizes. Per-run
-  // state (error-feedback residuals) lives here, not in options.
+  // state (error-feedback residuals) lives here, keyed by device and
+  // registered per round via prepare().
   comm::Channel channel(options_.comm, num_devices, dim);
   const bool channel_transforms = options_.comm.transforms_uplink();
   const bool byte_timing = options_.comm.byte_timing;
-  // Realized uplink message size per device this round (0 = not uplinked
+  // Realized uplink message size per slot this round (0 = not uplinked
   // through the channel; charged at the a-priori size instead). Written
   // only from each device's own solve slot, so the parallel path is safe.
-  std::vector<std::size_t> realized_uplink(num_devices, 0);
+  std::vector<std::size_t> realized_uplink;
 
   // Cumulative fault accounting (all stay zero on the no-fault path).
   const bool faults_on = options_.faults.enabled();
-  const bool deadline_on = options_.round_deadline.has_value();
   std::size_t total_dropped = 0;
+  std::size_t total_undelivered = 0;
   std::size_t total_stragglers = 0;
   std::size_t total_uplink_retries = 0;
   std::size_t total_deadline_misses = 0;
@@ -263,28 +293,42 @@ TrainingTrace Trainer::run_impl(
       options_.aggregator ? options_.aggregator
                           : make_aggregator(AggregatorKind::kMean);
 
-  // Server-defense state: per-device strike counters and the round until
-  // which each device stays quarantined (inclusive). Mutated only in the
-  // serial validation pass, so defense decisions are pool-size-independent.
-  std::vector<std::size_t> strikes(num_devices, 0);
-  std::vector<std::size_t> quarantined_until(num_devices, 0);
+  // Server-defense state, keyed by device id (a sampled run only ever
+  // touches the devices that actually participate): per-device strike
+  // counters and the round until which each device stays quarantined
+  // (inclusive). Mutated only in serial passes, never iterated — map order
+  // could not be deterministic, and nothing here needs it.
+  std::unordered_map<std::size_t, std::size_t> strikes;
+  std::unordered_map<std::size_t, std::size_t> quarantined_until;
+
+  // Stale-replay cache, keyed by device id: the last update each device
+  // actually sent (post-corruption bytes), re-sent verbatim when a
+  // kStaleReplay round fires. Entries are created serially before the
+  // parallel solve pass; the parallel path only reads the map and writes
+  // each device's own pre-existing vector. Engaged only when the fault
+  // model can draw kStaleReplay at all.
+  const bool stale_replay_possible =
+      faults_on && options_.faults.config().corruption_enabled() &&
+      options_.faults.config().corrupt_stale_weight > 0.0;
+  std::unordered_map<std::size_t, std::vector<double>> replay_cache;
 
   // Round-scoped scratch, hoisted out of the loop: the pre-defense global
   // model w̄^(s-1) (the aggregation anchor and norm-bound reference), the
   // accepted-update views handed to the aggregator, and the participation
-  // bookkeeping vectors — all keep their capacity across rounds, so a
-  // steady-state round allocates nothing here.
+  // bookkeeping — all keep their capacity across rounds.
   std::vector<double> w_prev(dim);
   std::vector<std::size_t> accepted;
   std::vector<std::span<const double>> update_views;
   std::vector<double> update_weights;
-  // Optional client sampling (FedAvg practicality; off for the paper's
-  // experiments, which use full participation).
+  // This round's scheduled participants, ascending device order (all N, or
+  // m of them drawn by Floyd's sampler in O(m)).
   std::vector<std::size_t> participants;
-  // Indices into `participants` whose update reaches the server in time
-  // each round — the devices line-12 aggregation averages over.
-  std::vector<std::size_t> survivors;
+  // Survivor device ids handed to channel.prepare() each round.
+  std::vector<std::size_t> uplinkers;
   std::vector<FaultEvent> events;
+  // The round as a discrete-event schedule (fl/event_engine.h): completion
+  // timestamps, arrival order, survivors, realized round time.
+  RoundSchedule schedule;
 
   // Per-device solver workspaces, one per peak-concurrent activation:
   // every inner-loop buffer (iterates, estimator directions, batch
@@ -292,19 +336,13 @@ TrainingTrace Trainer::run_impl(
   // epochs and rounds, so steady-state solves are allocation-free.
   opt::WorkspacePool ws_pool;
 
-  for (std::size_t s = 1; s <= options_.rounds; ++s) {
+  for (std::size_t s = 1; !target_reached && s <= options_.rounds; ++s) {
     profiler.begin_round(s, num_devices);
-    if (channel_transforms) {
-      std::fill(realized_uplink.begin(), realized_uplink.end(), 0);
-    }
-    bool target_reached = false;
     {
       OBS_SPAN("round");
 
-      participants.clear();
-      survivors.clear();
-      // Realized synchronous-barrier time of this round: max over reporting
-      // participants' fault-adjusted times, capped by the deadline.
+      // Realized synchronous-barrier time of this round: when the server's
+      // event queue drains (capped by the deadline). Set after build().
       double realized_round_time = 0.0;
       {
         obs::RoundProfiler::ScopedPhase phase(profiler,
@@ -314,8 +352,11 @@ TrainingTrace Trainer::run_impl(
             *options_.devices_per_round < num_devices) {
           util::Rng select_rng =
               util::fork(options_.seed, 0, s, util::stream::kSelection);
-          participants = select_rng.sample_without_replacement(
-              num_devices, *options_.devices_per_round);
+          // Floyd's subset sampler: O(m) time and memory however large the
+          // fleet is (the historical partial Fisher-Yates pass shuffled an
+          // N-sized index array per round).
+          select_rng.sample_subset_sorted(
+              num_devices, *options_.devices_per_round, participants);
         } else {
           participants.resize(num_devices);
           std::iota(participants.begin(), participants.end(), 0);
@@ -326,7 +367,8 @@ TrainingTrace Trainer::run_impl(
         // quarantine never perturbs the kSelection RNG stream.
         if (options_.defense.quarantine_enabled()) {
           std::erase_if(participants, [&](std::size_t device) {
-            if (quarantined_until[device] < s) return false;
+            const auto it = quarantined_until.find(device);
+            if (it == quarantined_until.end() || it->second < s) return false;
             ++total_quarantined;
             OBS_SPAN("round.defense.quarantined");
             FEDVR_OBS_COUNT("fl.defense.quarantined_device_rounds", 1);
@@ -334,22 +376,55 @@ TrainingTrace Trainer::run_impl(
           });
         }
 
-        // Fault + timing pre-pass. Events are a pure function of
-        // (seed, device, round) — fault sequences are bit-identical across
-        // thread-pool sizes — and round times are model time, so survivor
-        // status (including deadline misses) is known before any solver
-        // runs; non-survivors are degraded out of the round up front.
+        // Fault + timing pre-pass, two passes over the slots. Pass 1 fills
+        // the event schedule: fault events are a pure function of
+        // (seed, device, round) — bit-identical across thread-pool sizes —
+        // and completion timestamps are model time (d_com·mult + d_cmp·τ·
+        // slowdown), so arrival order, survivor status, and the realized
+        // round time are all known before any solver runs.
         events.assign(participants.size(), FaultEvent{});
-        survivors.reserve(participants.size());
+        std::vector<ParticipantOutcome>& outcomes =
+            schedule.reset(participants.size());
         for (std::size_t k = 0; k < participants.size(); ++k) {
           const std::size_t device = participants[k];
           if (faults_on) {
             events[k] = options_.faults.sample(options_.seed, device, s);
           }
+          ParticipantOutcome& oc = outcomes[k];
+          oc.device = device;
+          if (events[k].dropped) {
+            oc.crashed = true;
+            continue;
+          }
+          TimingModel timing = options_.per_device_timing.empty()
+                                   ? options_.timing
+                                   : options_.per_device_timing[device];
+          if (byte_timing) {
+            // d_com from actual serialized bytes: the link model splits the
+            // analytic d_com into latency + bandwidth calibrated so a dense
+            // float64 exchange still costs exactly d_com; compressed or
+            // quantized messages cost proportionally less.
+            timing.d_com = channel.link_round_time(timing);
+          }
+          oc.completion_time =
+              faults_on ? timing.round_time(
+                              timing_tau, events[k].slowdown,
+                              events[k].com_multiplier(
+                                  options_.faults.config().retry_backoff))
+                        : timing.round_time(timing_tau);
+          oc.undelivered = events[k].uplink_failed;
+        }
+        schedule.build(options_.round_deadline);
+        realized_round_time = schedule.realized_round_time();
+
+        // Pass 2: fault accounting + obs spans, ascending slot order (the
+        // same per-device emission order as the historical barrier loop).
+        for (std::size_t k = 0; k < participants.size(); ++k) {
           const FaultEvent& event = events[k];
-          if (event.dropped) {
+          const ParticipantOutcome& oc = schedule.outcome(k);
+          if (oc.crashed) {
             // A crash is detected immediately (connection loss): the device
-            // holds up neither the barrier nor the model.
+            // holds up neither the event queue nor the model.
             ++total_dropped;
             OBS_SPAN("round.fault.dropout");
             FEDVR_OBS_COUNT("fl.faults.dropout", 1);
@@ -365,51 +440,55 @@ TrainingTrace Trainer::run_impl(
             OBS_SPAN("round.fault.uplink_retry");
             FEDVR_OBS_COUNT("fl.faults.uplink_retries", event.uplink_retries);
           }
-          TimingModel timing = options_.per_device_timing.empty()
-                                   ? options_.timing
-                                   : options_.per_device_timing[device];
-          if (byte_timing) {
-            // d_com from actual serialized bytes: the link model splits the
-            // analytic d_com into latency + bandwidth calibrated so a dense
-            // float64 exchange still costs exactly d_com; compressed or
-            // quantized messages cost proportionally less.
-            timing.d_com = channel.link_round_time(timing);
-          }
-          const double device_time =
-              faults_on ? timing.round_time(
-                              timing_tau, event.slowdown,
-                              event.com_multiplier(
-                                  options_.faults.config().retry_backoff))
-                        : timing.round_time(timing_tau);
-          const bool missed_deadline =
-              deadline_on && device_time > *options_.round_deadline;
-          if (missed_deadline) {
+          if (oc.missed_deadline) {
             ++total_deadline_misses;
             OBS_SPAN("round.fault.deadline_miss");
             FEDVR_OBS_COUNT("fl.faults.deadline_misses", 1);
-            // The server stops waiting at the deadline, however late the
-            // device would have been.
-            realized_round_time =
-                std::max(realized_round_time, *options_.round_deadline);
-          } else {
-            realized_round_time = std::max(realized_round_time, device_time);
           }
           if (event.uplink_failed) {
             OBS_SPAN("round.fault.uplink_failed");
             FEDVR_OBS_COUNT("fl.faults.uplink_failed", 1);
           }
-          if (missed_deadline || event.uplink_failed) {
-            ++total_dropped;
-          } else {
-            survivors.push_back(k);
-            if (event.corrupted()) {
-              // Counted here — per delivered update — so the counter says
-              // how many corrupted updates the server actually had to
-              // survive, not how many corruption events fired into the void.
-              ++total_corrupted;
-              OBS_SPAN("round.fault.corrupt");
-              FEDVR_OBS_COUNT("fl.faults.corrupted_updates", 1);
-            }
+          if (oc.missed_deadline || oc.undelivered) {
+            // Computed and transmitted, never aggregated: undelivered, not
+            // "dropped" — dropped counts crashes only (CSV schema v2).
+            ++total_undelivered;
+          } else if (event.corrupted()) {
+            // Counted here — per delivered update — so the counter says
+            // how many corrupted updates the server actually had to
+            // survive, not how many corruption events fired into the void.
+            ++total_corrupted;
+            OBS_SPAN("round.fault.corrupt");
+            FEDVR_OBS_COUNT("fl.faults.corrupted_updates", 1);
+          }
+        }
+      }
+
+      const std::span<const std::size_t> survivors = schedule.survivors();
+
+      // Slot-keyed round state (inner capacities survive the resize), plus
+      // serial registration of everything the parallel solve pass may only
+      // read: channel residual slots and replay-cache entries.
+      locals.resize(participants.size());
+      thetas.assign(participants.size(), -1.0);
+      grad_evals.assign(participants.size(), 0);
+      if (channel_transforms) {
+        realized_uplink.assign(participants.size(), 0);
+        if (options_.comm.error_feedback) {
+          uplinkers.clear();
+          for (const std::size_t k : survivors) {
+            uplinkers.push_back(participants[k]);
+          }
+          channel.prepare(uplinkers);
+        }
+      }
+      if (stale_replay_possible) {
+        // Pre-create this round's replay-cache entries: the parallel pass
+        // writes only each device's own pre-existing vector and never
+        // mutates the map structure.
+        for (const std::size_t k : survivors) {
+          if (events[k].corruption != CorruptionKind::kStaleReplay) {
+            replay_cache.try_emplace(participants[k]);
           }
         }
       }
@@ -420,17 +499,21 @@ TrainingTrace Trainer::run_impl(
       // exhaustion, deadline miss) is not simulated — its wasted compute
       // shows up in the fault counters, not in sample_grad_evals.
       auto run_device = [&](std::size_t i) {
-        const std::size_t device = participants[survivors[i]];
-        const FaultEvent& event = events[survivors[i]];
+        const std::size_t k = survivors[i];
+        const std::size_t device = participants[k];
+        const FaultEvent& event = events[k];
+        std::vector<double>& local = locals[k];
         if (event.corruption == CorruptionKind::kStaleReplay) {
           // The device free-rides: it re-sends whatever it uploaded last
           // (or echoes the broadcast model verbatim if it never uploaded)
           // without running the solver, so it contributes no fresh work.
-          if (locals[device].empty()) {
-            locals[device].assign(w_global.begin(), w_global.end());
+          // The θ/grad-eval slots already hold their -1/0 defaults.
+          const auto it = replay_cache.find(device);
+          if (it != replay_cache.end() && !it->second.empty()) {
+            local.assign(it->second.begin(), it->second.end());
+          } else {
+            local.assign(w_global.begin(), w_global.end());
           }
-          thetas[device] = -1.0;
-          grad_evals[device] = 0;
           return;
         }
         OBS_SPAN("device.solve");
@@ -439,8 +522,14 @@ TrainingTrace Trainer::run_impl(
                                    util::stream::kSampling);
         const opt::WorkspacePool::Lease lease(ws_pool);
         opt::SolverWorkspace& ws = *lease;
-        const auto result = solver_for(device).solve(
-            fed_.train[device], w_global, rng, ws, locals[device]);
+        // On-demand shard materialization (data/federation.h): an in-memory
+        // federation returns its stored shard, a virtual one generates into
+        // this device-local scratch — either way the round only ever holds
+        // the shards of devices it actually runs.
+        data::Dataset shard_scratch;
+        const data::Dataset& shard = fed_->train(device, shard_scratch);
+        const auto result =
+            solver_for(device).solve(shard, w_global, rng, ws, local);
         if (channel_transforms) {
           // Uplink the update delta through the comm seam (error feedback,
           // compression, wire encode/decode); the server reconstructs
@@ -448,12 +537,12 @@ TrainingTrace Trainer::run_impl(
           // are a lint error (compression-in-seam).
           std::vector<double>& delta = ws.delta;
           delta.resize(dim);
-          tensor::sub(locals[device], w_global, delta);
+          tensor::sub(local, w_global, delta);
           util::Rng comm_rng =
               util::fork(options_.seed, device + 1, s, util::stream::kComm);
-          realized_uplink[device] = channel.uplink(device, delta, comm_rng);
-          tensor::copy(w_global, locals[device]);
-          tensor::axpy(1.0, delta, locals[device]);
+          realized_uplink[k] = channel.uplink(device, delta, comm_rng);
+          tensor::copy(w_global, local);
+          tensor::axpy(1.0, delta, local);
         }
         // Corruption mangles the transmitted bytes, so it applies after
         // compression. Deterministic per (seed, device, round): the kind
@@ -463,34 +552,39 @@ TrainingTrace Trainer::run_impl(
           case CorruptionKind::kNanInject: {
             // Sparse deterministic poison: coordinate (device + s) mod dim,
             // then every 64th after it, alternating NaN and +Inf.
-            std::vector<double>& v = locals[device];
             bool use_nan = true;
             for (std::size_t j = (device + s) % dim; j < dim; j += 64) {
-              v[j] = use_nan ? std::numeric_limits<double>::quiet_NaN()
-                             : std::numeric_limits<double>::infinity();
+              local[j] = use_nan ? std::numeric_limits<double>::quiet_NaN()
+                                 : std::numeric_limits<double>::infinity();
               use_nan = !use_nan;
             }
             break;
           }
           case CorruptionKind::kSignFlip:
             // w̄ - δ, i.e. 2·w̄ - w_n: the update pushes the wrong way.
-            tensor::scal(-1.0, locals[device]);
-            tensor::axpy(2.0, w_global, locals[device]);
+            tensor::scal(-1.0, local);
+            tensor::axpy(2.0, w_global, local);
             break;
           case CorruptionKind::kScale: {
             // w̄ + f·δ, i.e. f·w_n + (1-f)·w̄: a magnitude explosion (or
             // collapse) along the honest direction.
             const double f = options_.faults.config().corrupt_scale_factor;
-            tensor::scal(f, locals[device]);
-            tensor::axpy(1.0 - f, w_global, locals[device]);
+            tensor::scal(f, local);
+            tensor::axpy(1.0 - f, w_global, local);
             break;
           }
           case CorruptionKind::kNone:
           case CorruptionKind::kStaleReplay:
             break;  // replay already returned above
         }
-        thetas[device] = result.measured_theta;
-        grad_evals[device] = result.sample_gradient_evals;
+        if (stale_replay_possible) {
+          // Remember what this device just sent (post-corruption bytes) so
+          // a later kStaleReplay round re-sends exactly that. The entry was
+          // created serially above; only this device's vector is written.
+          replay_cache.find(device)->second.assign(local.begin(), local.end());
+        }
+        thetas[k] = result.measured_theta;
+        grad_evals[k] = result.sample_gradient_evals;
         if (obs_on) {
           profiler.record_device(
               device,
@@ -523,16 +617,14 @@ TrainingTrace Trainer::run_impl(
         accepted.clear();
         for (std::size_t k : survivors) {
           const std::size_t device = participants[k];
-          FEDVR_CHECK_INDEX(device, locals.size());
-          FEDVR_CHECK_SHAPE(locals[device].size(), dim);
+          FEDVR_CHECK_SHAPE(locals[k].size(), dim);
           bool ok = !options_.defense.reject_non_finite ||
-                    check::all_finite(locals[device]);
+                    check::all_finite(locals[k]);
           if (ok && options_.defense.update_norm_bound > 0.0) {
             const double bound = options_.defense.update_norm_bound;
             // NaN distances compare false, so a non-finite update that
             // slipped past a disabled finiteness check still fails here.
-            ok = tensor::squared_distance(locals[device], w_prev) <=
-                 bound * bound;
+            ok = tensor::squared_distance(locals[k], w_prev) <= bound * bound;
           }
           if (ok) {
             accepted.push_back(k);
@@ -556,9 +648,8 @@ TrainingTrace Trainer::run_impl(
           update_views.clear();
           update_weights.clear();
           for (std::size_t k : accepted) {
-            const std::size_t device = participants[k];
-            update_views.emplace_back(locals[device]);
-            update_weights.push_back(fed_.weight(device));
+            update_views.emplace_back(locals[k]);
+            update_weights.push_back(fed_->weight(participants[k]));
           }
           aggregator->aggregate(w_prev, update_views, update_weights,
                                 w_global);
@@ -568,34 +659,35 @@ TrainingTrace Trainer::run_impl(
           FEDVR_CHECK_FINITE(w_global, "aggregated global model");
         }
 
-        // Synchronous-barrier wall clock: the round costs the slowest
-        // reporting participant's fault-adjusted time (capped by the
-        // deadline), computed in the pre-pass above.
+        // The round costs model time until the server's event queue drains:
+        // the last non-crashed arrival, capped at the deadline.
         model_time += realized_round_time;
 
         // Wire accounting from serialized message sizes: one dense model
         // broadcast down per scheduled participant, plus one (possibly
-        // compressed) update message up per uplink transmission actually
-        // sent — lost attempts and late arrivals still crossed the wire.
+        // compressed) update message up per transmission in the arrival
+        // queue — lost attempts and late arrivals still crossed the wire.
         // Devices that uplinked through the channel are charged their
         // realized message size; transmissions whose payload was never
         // materialized (lost attempts, crashed-out retries, stale replays)
-        // are charged the a-priori size.
+        // are charged the a-priori size. Integer sums, so the queue order
+        // cannot perturb the totals.
         const std::size_t up_bytes_apriori = channel.uplink_wire_bytes();
         total_downlink_bytes +=
             participants.size() * channel.downlink_wire_bytes();
-        for (std::size_t k = 0; k < participants.size(); ++k) {
-          if (events[k].dropped) continue;
-          const std::size_t realized = realized_uplink[participants[k]];
-          total_uplink_bytes += events[k].uplink_attempts() *
+        for (const ArrivalEvent& ev : schedule.arrivals()) {
+          const std::size_t realized =
+              channel_transforms ? realized_uplink[ev.slot] : 0;
+          total_uplink_bytes += events[ev.slot].uplink_attempts() *
                                 (realized > 0 ? realized : up_bytes_apriori);
         }
         for (std::size_t k : survivors) {
-          total_grad_evals += grad_evals[participants[k]];
+          total_grad_evals += grad_evals[k];
         }
       }
 
-      if (s % options_.eval_every == 0 || s == options_.rounds) {
+      if (s % options_.eval_every == 0 ||
+          (s == options_.rounds && options_.eval_final)) {
         RoundMetrics m;
         m.round = s;
         {
@@ -614,12 +706,13 @@ TrainingTrace Trainer::run_impl(
         m.comm_bytes = total_uplink_bytes + total_downlink_bytes;
         m.sample_grad_evals = total_grad_evals;
         m.dropped_devices = total_dropped;
+        m.undelivered_updates = total_undelivered;
         m.straggler_devices = total_stragglers;
         m.uplink_retries = total_uplink_retries;
         m.deadline_misses = total_deadline_misses;
         m.corrupted_updates = total_corrupted;
         m.rejected_updates = total_rejected;
-        m.quarantined_devices = total_quarantined;
+        m.quarantined_device_rounds = total_quarantined;
         m.realized_round_time = realized_round_time;
         // Determinism audit: two runs with the same seed must produce
         // bit-identical parameters, hence equal hashes, at every eval round.
@@ -637,12 +730,11 @@ TrainingTrace Trainer::run_impl(
           double sum = 0.0;
           std::size_t count = 0;
           for (std::size_t k : survivors) {
-            const std::size_t device = participants[k];
-            if (thetas[device] >= 0.0) {
+            if (thetas[k] >= 0.0) {
               // Predicate-filtered diagnostic mean, ascending survivor
               // order; trace-only, never fed back into the model.
               // lint:allow(fp-reduction-in-seam) trace-only diagnostic mean
-              sum += thetas[device];
+              sum += thetas[k];
               ++count;
             }
           }
@@ -659,7 +751,6 @@ TrainingTrace Trainer::run_impl(
       }
     }
     profiler.end_round();
-    if (target_reached) break;
   }
   trace.final_parameters = std::move(w_global);
   trace.final_param_hash = check::hash_span(trace.final_parameters);

@@ -1,15 +1,30 @@
-// The synchronous federated engine: Algorithm 1's outer loop.
+// The synchronous federated engine: Algorithm 1's outer loop, run as a
+// discrete-event simulation over the round's participants.
 //
 // Each global round s:
-//   1. broadcast w̄^(s-1) to all (or a sampled subset of) devices,
-//   2. run the device-local solver on every device — in parallel on a
-//      thread pool ("for n in N do in parallel"),
-//   3. aggregate w̄^(s) = sum_n (D_n/D) w_n^(s)   (line 12),
-//   4. evaluate metrics and append to the trace.
+//   1. sample/select this round's participants (all N, or m of them drawn
+//      by Floyd's algorithm in O(m)) and broadcast w̄^(s-1) to them,
+//   2. build the round's event schedule (fl/event_engine.h): per-
+//      participant fault events and (d_com + d_cmp·τ) completion
+//      timestamps, deadline misses, the survivor set, and the realized
+//      round time — all before any solver runs,
+//   3. run the device-local solver on every surviving participant — in
+//      parallel on a thread pool ("for n in N do in parallel"), device
+//      shards materialized on demand through data::Federation,
+//   4. aggregate w̄^(s) = sum_n (D_n/D) w_n^(s)   (line 12) through the
+//      pluggable fl::Aggregator seam (flat mean, robust rules, or the
+//      hierarchical tree of fl/hierarchy.h),
+//   5. evaluate metrics and append to the trace.
+//
+// Every per-participant buffer (local models, θ diagnostics, error-feedback
+// residuals, uplink accounting) is keyed by round slot or device, never
+// sized by the fleet: a round over m sampled participants costs O(m·dim)
+// memory at any fleet size.
 //
 // Determinism: the per-device, per-round RNG is forked from the master seed
-// by (device, round) coordinates, so traces are identical however devices
-// are scheduled onto threads.
+// by (device, round) coordinates, and every cross-device reduction runs in
+// a fixed (ascending-device) order, so traces are bit-identical however
+// devices are scheduled onto threads.
 #pragma once
 
 #include <functional>
@@ -19,6 +34,7 @@
 
 #include "comm/channel.h"
 #include "data/dataset.h"
+#include "data/federation.h"
 #include "fl/aggregation.h"
 #include "fl/compression.h"
 #include "fl/faults.h"
@@ -52,6 +68,11 @@ struct TrainerOptions {
   TimingModel timing;
   std::size_t eval_every = 1;     // metric cadence (rounds)
   bool eval_initial = false;      // record a round-0 entry at w̄^(0)
+  /// Force an eval entry on the last round even when eval_every does not
+  /// land on it (the historical behavior, and the default). Global metrics
+  /// are O(fleet) — a sampled million-device smoke run turns this off and
+  /// relies purely on param hashes.
+  bool eval_final = true;
   bool eval_grad_norm = false;    // ||∇F̄||² costs a full pass; opt-in
   bool collect_theta = false;     // per-device θ diagnostics (costly)
   /// Devices participating per round; nullopt = all (the paper's setting).
@@ -103,8 +124,16 @@ struct TrainerOptions {
 class Trainer {
  public:
   /// The trainer borrows the dataset; it must outlive the trainer.
+  /// (Wraps `fed` in a data::InMemoryFederation.)
   Trainer(std::shared_ptr<const nn::Model> model,
           const data::FederatedDataset& fed, TrainerOptions options);
+
+  /// Federation-backed construction — the million-device path. With a
+  /// data::VirtualFederation, device shards are materialized on demand
+  /// inside each participant's solve, so a round of m sampled participants
+  /// costs O(m·dim) memory regardless of the fleet size.
+  Trainer(std::shared_ptr<const nn::Model> model,
+          std::shared_ptr<const data::Federation> fed, TrainerOptions options);
 
   /// Runs `solver` for options().rounds global rounds starting from a fresh
   /// initialization (or `w0` if provided). `name` labels the trace.
@@ -138,9 +167,8 @@ class Trainer {
       std::optional<std::vector<double>> w0) const;
 
   std::shared_ptr<const nn::Model> model_;
-  const data::FederatedDataset& fed_;
+  std::shared_ptr<const data::Federation> fed_;
   TrainerOptions options_;
-  data::Dataset pooled_test_;
 };
 
 }  // namespace fedvr::fl

@@ -1,7 +1,9 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <unordered_set>
 
 #include "util/error.h"
 
@@ -60,20 +62,53 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   return out;
 }
 
+void Rng::sample_subset_sorted(std::size_t n, std::size_t k,
+                               std::vector<std::size_t>& out) {
+  FEDVR_CHECK_MSG(k <= n, "cannot draw " << k << " distinct items from " << n);
+  out.clear();
+  // Floyd's algorithm (Bentley & Floyd, 1987): for j = n-k .. n-1 draw
+  // t ∈ [0, j]; take t unless already taken, in which case take j (which
+  // cannot have been taken before this step). Exactly k draws, uniform over
+  // all k-subsets. Membership tests never iterate the set, so the result
+  // does not depend on hash iteration order.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
 std::size_t Rng::categorical(std::span<const double> weights) {
   FEDVR_CHECK(!weights.empty());
   double total = 0.0;
-  for (double w : weights) {
+  std::size_t last_nonzero = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
     FEDVR_CHECK_MSG(w >= 0.0, "negative categorical weight " << w);
     total += w;
+    if (w > 0.0) last_nonzero = i;
   }
   FEDVR_CHECK_MSG(total > 0.0, "categorical weights sum to zero");
   double r = uniform() * total;
   for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
-    if (r < weights[i]) return i;
+    // Zero-weight indices never win: r can dip below 0 under fp rounding
+    // (the pairwise subtractions need not reproduce `total`), and without
+    // the w > 0 guard such an r would select the next index regardless of
+    // its weight.
+    if (weights[i] > 0.0 && r < weights[i]) return i;
     r -= weights[i];
   }
-  return weights.size() - 1;
+  // Fallthrough when rounding walks r past every weight: clamp to the last
+  // index with positive weight, not blindly to weights.size() - 1 (whose
+  // weight may be zero — an index the distribution can never produce).
+  return last_nonzero;
 }
 
 Rng fork(std::uint64_t master_seed, std::uint64_t a, std::uint64_t b,

@@ -109,6 +109,15 @@ class Rng {
   [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
       std::size_t n, std::size_t k);
 
+  /// k distinct indices sampled uniformly from [0, n), returned in ascending
+  /// order, appended to `out` (cleared first; capacity is reused). Floyd's
+  /// algorithm: O(k) draws and O(k) memory however large n is, which is what
+  /// makes sampling m of 1,000,000 devices per round affordable — the O(n)
+  /// selection scan above walks the whole population. The two methods draw
+  /// different streams, so they are not interchangeable under a pinned seed.
+  void sample_subset_sorted(std::size_t n, std::size_t k,
+                            std::vector<std::size_t>& out);
+
   /// Index sampled from an (unnormalized, nonnegative) weight vector.
   [[nodiscard]] std::size_t categorical(std::span<const double> weights);
 

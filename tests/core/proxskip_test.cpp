@@ -174,5 +174,28 @@ TEST(ProxSkipVR, SerialAndParallelFlagAgree) {
   EXPECT_EQ(a.final_param_hash, b.final_param_hash);
 }
 
+TEST(ProxSkipVR, TargetAccuracyCanStopAtRoundZero) {
+  // Regression (shared with the trainer): a starting model that already
+  // meets target_accuracy must end the run at the round-0 evaluation, not
+  // after one paid iteration.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = make_fed(2);
+  ProxSkipVROptions opts;
+  opts.iterations = 100;
+  opts.eval_every = 1;
+  opts.eval_initial = true;
+  opts.target_accuracy = 0.0;  // any model qualifies, w̄^(0) included
+  const std::vector<double> w0(kDim, 0.5);
+  const auto trace = run_proxskip_vr(model, fed, opts, "stop0", w0);
+  ASSERT_EQ(trace.rounds.size(), 1u);
+  EXPECT_EQ(trace.rounds.front().round, 0u);
+  // No iteration ran: the final model is the (weighted average of the)
+  // starting point — equal to w0 up to the D_n/D summation rounding.
+  ASSERT_EQ(trace.final_parameters.size(), w0.size());
+  for (std::size_t j = 0; j < w0.size(); ++j) {
+    EXPECT_NEAR(trace.final_parameters[j], w0[j], 1e-15);
+  }
+}
+
 }  // namespace
 }  // namespace fedvr::core

@@ -1,0 +1,124 @@
+#include "fl/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace fedvr::fl {
+namespace {
+
+TEST(RoundSchedule, ArrivalsSortByTimeThenSlot) {
+  RoundSchedule sched;
+  auto& oc = sched.reset(4);
+  oc[0] = {.device = 10, .completion_time = 3.0};
+  oc[1] = {.device = 11, .completion_time = 1.0};
+  oc[2] = {.device = 12, .completion_time = 3.0};  // ties slot 0 on time
+  oc[3] = {.device = 13, .completion_time = 2.0};
+  sched.build(std::nullopt);
+  const auto arrivals = sched.arrivals();
+  ASSERT_EQ(arrivals.size(), 4u);
+  EXPECT_EQ(arrivals[0].slot, 1u);
+  EXPECT_EQ(arrivals[1].slot, 3u);
+  // Equal times resolve by ascending slot — pool-size-independent order.
+  EXPECT_EQ(arrivals[2].slot, 0u);
+  EXPECT_EQ(arrivals[3].slot, 2u);
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 3.0);
+}
+
+TEST(RoundSchedule, CrashedParticipantsNeverArriveOrHoldUpTheRound) {
+  RoundSchedule sched;
+  auto& oc = sched.reset(3);
+  oc[0] = {.device = 0, .completion_time = 1.0};
+  oc[1] = {.device = 1, .completion_time = 99.0, .crashed = true};
+  oc[2] = {.device = 2, .completion_time = 2.0};
+  sched.build(std::nullopt);
+  ASSERT_EQ(sched.arrivals().size(), 2u);
+  const auto survivors = sched.survivors();
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors[0], 0u);
+  EXPECT_EQ(survivors[1], 2u);
+  // A crash computes nothing and transmits nothing: the slow crashed
+  // device must not stretch the realized round time.
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 2.0);
+  EXPECT_FALSE(sched.outcome(1).missed_deadline);
+}
+
+TEST(RoundSchedule, DeadlineDerivesMissesAndCapsRoundTime) {
+  RoundSchedule sched;
+  auto& oc = sched.reset(3);
+  oc[0] = {.device = 0, .completion_time = 1.0};
+  oc[1] = {.device = 1, .completion_time = 5.0};  // past the cutoff
+  oc[2] = {.device = 2, .completion_time = 4.0};  // exactly at the cutoff
+  sched.build(4.0);
+  EXPECT_FALSE(sched.outcome(0).missed_deadline);
+  EXPECT_TRUE(sched.outcome(1).missed_deadline);
+  EXPECT_FALSE(sched.outcome(2).missed_deadline);  // == deadline is on time
+  const auto survivors = sched.survivors();
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors[0], 0u);
+  EXPECT_EQ(survivors[1], 2u);
+  // The server stops waiting at the deadline, however late slot 1 is.
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 4.0);
+  // The late update still crossed the wire: it stays in the arrival queue.
+  EXPECT_EQ(sched.arrivals().size(), 3u);
+}
+
+TEST(RoundSchedule, UndeliveredArrivesButDoesNotSurvive) {
+  RoundSchedule sched;
+  auto& oc = sched.reset(2);
+  oc[0] = {.device = 0, .completion_time = 2.0, .undelivered = true};
+  oc[1] = {.device = 1, .completion_time = 1.0};
+  sched.build(std::nullopt);
+  EXPECT_EQ(sched.arrivals().size(), 2u);
+  const auto survivors = sched.survivors();
+  ASSERT_EQ(survivors.size(), 1u);
+  EXPECT_EQ(survivors[0], 1u);
+  // Transmission time was still spent waiting on the failed uplink.
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 2.0);
+}
+
+TEST(RoundSchedule, EmptyAndAllCrashedRoundsRealizeZeroTime) {
+  RoundSchedule sched;
+  sched.reset(0);
+  sched.build(10.0);
+  EXPECT_TRUE(sched.arrivals().empty());
+  EXPECT_TRUE(sched.survivors().empty());
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 0.0);
+
+  auto& oc = sched.reset(2);
+  oc[0] = {.device = 0, .completion_time = 3.0, .crashed = true};
+  oc[1] = {.device = 1, .completion_time = 4.0, .crashed = true};
+  sched.build(std::nullopt);
+  EXPECT_TRUE(sched.arrivals().empty());
+  EXPECT_TRUE(sched.survivors().empty());
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 0.0);
+}
+
+TEST(RoundSchedule, ResetClearsPriorRoundState) {
+  RoundSchedule sched;
+  auto& first = sched.reset(3);
+  first[0] = {.device = 0, .completion_time = 7.0};
+  first[1] = {.device = 1, .completion_time = 8.0, .crashed = true};
+  first[2] = {.device = 2, .completion_time = 9.0};
+  sched.build(std::nullopt);
+  ASSERT_EQ(sched.survivors().size(), 2u);
+
+  // Shrinking reuse: outcomes come back default-initialized, and nothing
+  // from the previous (larger) round leaks into the new one.
+  auto& second = sched.reset(1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_FALSE(second[0].crashed);
+  EXPECT_FALSE(second[0].undelivered);
+  EXPECT_DOUBLE_EQ(second[0].completion_time, 0.0);
+  second[0] = {.device = 5, .completion_time = 1.5};
+  sched.build(std::nullopt);
+  ASSERT_EQ(sched.arrivals().size(), 1u);
+  EXPECT_EQ(sched.arrivals()[0].slot, 0u);
+  ASSERT_EQ(sched.survivors().size(), 1u);
+  EXPECT_DOUBLE_EQ(sched.realized_round_time(), 1.5);
+}
+
+}  // namespace
+}  // namespace fedvr::fl

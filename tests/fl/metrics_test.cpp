@@ -119,9 +119,10 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   auto t = make_trace({0.7, 0.6}, {0.5, 0.55});
   t.rounds[1].corrupted_updates = 3;
   t.rounds[1].rejected_updates = 2;
-  t.rounds[1].quarantined_devices = 1;
+  t.rounds[1].quarantined_device_rounds = 1;
   t.rounds[1].uplink_bytes = 5;
   t.rounds[1].downlink_bytes = 4;
+  t.rounds[1].undelivered_updates = 7;
   const auto dir = testing::make_temp_dir("fedvr_metrics_test");
   const std::string path = (dir / "trace.csv").string();
   t.write_csv(path);
@@ -130,22 +131,25 @@ TEST(TrainingTrace, WriteCsvRoundTrips) {
   std::getline(in, header);
   std::getline(in, row1);
   std::getline(in, row2);
-  // SCHEMA PIN: this header is the trace-file contract consumed by plotting
-  // and sweep tooling. Columns are position-stable — add new ones at the END
-  // only, and update this pin (and DESIGN.md's schema note) when you do.
+  // SCHEMA PIN (v2, DESIGN.md §11): this header is the trace-file contract
+  // consumed by plotting and sweep tooling. Columns are position-stable —
+  // add new ones at the END only, and update this pin (and DESIGN.md's
+  // schema note) when you do. v2 renamed quarantined_devices to
+  // quarantined_device_rounds and appended undelivered_updates.
   EXPECT_EQ(header,
             "algorithm,round,train_loss,test_accuracy,grad_norm_sq,"
             "model_time,wall_seconds,mean_local_theta,comm_bytes,"
             "sample_grad_evals,param_hash,dropped_devices,straggler_devices,"
             "uplink_retries,deadline_misses,realized_round_time,"
             "t_broadcast,t_local_solve,t_aggregate,t_eval,"
-            "corrupted_updates,rejected_updates,quarantined_devices,"
-            "uplink_bytes,downlink_bytes");
+            "corrupted_updates,rejected_updates,quarantined_device_rounds,"
+            "uplink_bytes,downlink_bytes,undelivered_updates");
   EXPECT_EQ(row1.substr(0, 11), "test,1,0.7,");
   EXPECT_EQ(row2.substr(0, 11), "test,2,0.6,");
-  // Defense counters + split byte counters land in the last five columns.
-  EXPECT_EQ(row1.substr(row1.size() - 10), ",0,0,0,0,0");
-  EXPECT_EQ(row2.substr(row2.size() - 10), ",3,2,1,5,4");
+  // Defense counters + split byte counters + the appended undelivered
+  // column land in the last six columns.
+  EXPECT_EQ(row1.substr(row1.size() - 12), ",0,0,0,0,0,0");
+  EXPECT_EQ(row2.substr(row2.size() - 12), ",3,2,1,5,4,7");
   std::filesystem::remove_all(dir);
 }
 

@@ -297,7 +297,7 @@ TEST(TrainerDefense, QuarantineLifecycleIsExact) {
                                               3 * n, 3 * n};
   for (std::size_t i = 0; i < 7; ++i) {
     EXPECT_EQ(r[i].rejected_updates, expected_rejected[i]) << "round " << i;
-    EXPECT_EQ(r[i].quarantined_devices, expected_quarantined[i])
+    EXPECT_EQ(r[i].quarantined_device_rounds, expected_quarantined[i])
         << "round " << i;
     // Corrupted counts delivered updates, so it tracks rejected exactly.
     EXPECT_EQ(r[i].corrupted_updates, r[i].rejected_updates) << "round " << i;
@@ -323,7 +323,7 @@ TEST(TrainerDefense, QuarantineComposesWithClientSampling) {
   const auto trace = trainer.run(gd_solver(model), "sampled", w0);
   EXPECT_EQ(trace.final_parameters, w0);
   EXPECT_GT(trace.back().rejected_updates, 0u);
-  EXPECT_GT(trace.back().quarantined_devices, 0u);
+  EXPECT_GT(trace.back().quarantined_device_rounds, 0u);
   // Selection happens before the quarantine filter, so enabling quarantine
   // must not perturb the kSelection stream: the same seed without defense
   // sees the same per-round corrupted (i.e. selected+delivered) schedule
@@ -392,7 +392,7 @@ TEST(TrainerDefense, ZeroSurvivorDeadlineRoundsSkipDefenseAndAggregation) {
   EXPECT_EQ(trace.back().deadline_misses, 3u * fed.num_devices());
   EXPECT_EQ(trace.back().corrupted_updates, 0u);
   EXPECT_EQ(trace.back().rejected_updates, 0u);
-  EXPECT_EQ(trace.back().quarantined_devices, 0u);
+  EXPECT_EQ(trace.back().quarantined_device_rounds, 0u);
 }
 
 TEST(TrainerDefense, DefenseCountersAccumulateMonotonically) {
@@ -416,8 +416,8 @@ TEST(TrainerDefense, DefenseCountersAccumulateMonotonically) {
               trace.rounds[i - 1].corrupted_updates);
     EXPECT_GE(trace.rounds[i].rejected_updates,
               trace.rounds[i - 1].rejected_updates);
-    EXPECT_GE(trace.rounds[i].quarantined_devices,
-              trace.rounds[i - 1].quarantined_devices);
+    EXPECT_GE(trace.rounds[i].quarantined_device_rounds,
+              trace.rounds[i - 1].quarantined_device_rounds);
   }
 }
 
@@ -458,8 +458,8 @@ TEST(TrainerDefense, EveryAggregatorIsBitIdenticalAcrossPoolSizesUnderAttack) {
                 full.rounds[i].corrupted_updates);
       EXPECT_EQ(serial.rounds[i].rejected_updates,
                 full.rounds[i].rejected_updates);
-      EXPECT_EQ(serial.rounds[i].quarantined_devices,
-                full.rounds[i].quarantined_devices);
+      EXPECT_EQ(serial.rounds[i].quarantined_device_rounds,
+                full.rounds[i].quarantined_device_rounds);
     }
     EXPECT_EQ(serial.final_param_hash, full.final_param_hash);
     // The corruption mix actually fired.

@@ -137,6 +137,8 @@ TEST(TrainerFaults, TracesAreBitIdenticalAcrossPoolSizes) {
     EXPECT_EQ(serial.rounds[i].dropped_devices, two.rounds[i].dropped_devices);
     EXPECT_EQ(serial.rounds[i].dropped_devices,
               full.rounds[i].dropped_devices);
+    EXPECT_EQ(serial.rounds[i].undelivered_updates,
+              full.rounds[i].undelivered_updates);
     EXPECT_EQ(serial.rounds[i].straggler_devices,
               full.rounds[i].straggler_devices);
     EXPECT_EQ(serial.rounds[i].uplink_retries, full.rounds[i].uplink_retries);
@@ -240,9 +242,12 @@ TEST(TrainerFaults, ExhaustedUplinkFreezesModelAndChargesRetries) {
   const std::vector<double> w0(kDim, -1.0);
   const std::size_t tau = 4;
   const auto trace = trainer.run(gd_solver(model, tau), "lossy", w0);
-  // No update ever reaches the server.
+  // No update ever reaches the server. The devices computed and transmitted
+  // (the retry budget just ran out), so they count as undelivered updates —
+  // dropped_devices means crashes only (CSV schema v2).
   EXPECT_EQ(trace.final_parameters, w0);
-  EXPECT_EQ(trace.back().dropped_devices, 3u * fed.num_devices());
+  EXPECT_EQ(trace.back().dropped_devices, 0u);
+  EXPECT_EQ(trace.back().undelivered_updates, 3u * fed.num_devices());
   EXPECT_EQ(trace.back().uplink_retries, 3u * fed.num_devices() * 2u);
   // Each device holds the barrier for d_com * (1 + 2 + 4) + d_cmp * tau.
   const double per_round = 1.0 * 7.0 + 0.1 * static_cast<double>(tau);
@@ -273,8 +278,10 @@ TEST(TrainerFaults, DeadlineDegradesSlowDevicesOutOfAggregation) {
   const auto trace = trainer.run(gd_solver(model, tau), "deadline");
 
   // The slow device misses every round; the server waits out the deadline.
+  // Deadline misses are undelivered updates, not crashes (CSV schema v2).
   EXPECT_EQ(trace.back().deadline_misses, 6u);
-  EXPECT_EQ(trace.back().dropped_devices, 6u);
+  EXPECT_EQ(trace.back().undelivered_updates, 6u);
+  EXPECT_EQ(trace.back().dropped_devices, 0u);
   for (const auto& r : trace.rounds) {
     EXPECT_DOUBLE_EQ(r.realized_round_time, 5.0);
   }
@@ -336,6 +343,8 @@ TEST(TrainerFaults, CountersAccumulateMonotonically) {
   for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
     EXPECT_GE(trace.rounds[i].dropped_devices,
               trace.rounds[i - 1].dropped_devices);
+    EXPECT_GE(trace.rounds[i].undelivered_updates,
+              trace.rounds[i - 1].undelivered_updates);
     EXPECT_GE(trace.rounds[i].straggler_devices,
               trace.rounds[i - 1].straggler_devices);
     EXPECT_GE(trace.rounds[i].uplink_retries,

@@ -300,6 +300,34 @@ TEST(Trainer, TargetAccuracyFiresOnFirstEvaluatedRound) {
   EXPECT_EQ(trace.rounds.front().round, 3u);
 }
 
+TEST(Trainer, TargetAccuracyCanStopAtRoundZero) {
+  // Regression: the target check used to live only inside the round loop,
+  // so a run whose *initial* model already met the target still paid for a
+  // full training round. With eval_initial on, the round-0 entry must be
+  // able to end the run before any device trains.
+  auto model = std::make_shared<QuadraticModel>(kDim);
+  const auto fed = two_device_fed(10, 10, 0.0, 1.0);
+  TrainerOptions opts;
+  opts.rounds = 50;
+  opts.eval_initial = true;
+  opts.target_accuracy = 0.0;  // satisfied by any model, w̄^(0) included
+  const Trainer trainer(model, fed, opts);
+  const std::vector<double> w0(kDim, 0.25);
+  const auto trace = trainer.run(gd_solver(model, 2, 0.2, 0.5), "t", w0);
+  ASSERT_EQ(trace.rounds.size(), 1u);
+  EXPECT_EQ(trace.rounds.front().round, 0u);
+  // No round ran: the final model is the starting point, untouched.
+  EXPECT_EQ(trace.final_parameters, w0);
+  // Without eval_initial there is no round-0 observation, so the same
+  // configuration stops at round 1 instead.
+  TrainerOptions no_initial = opts;
+  no_initial.eval_initial = false;
+  const Trainer t2(model, fed, no_initial);
+  const auto trace2 = t2.run(gd_solver(model, 2, 0.2, 0.5), "t", w0);
+  ASSERT_EQ(trace2.rounds.size(), 1u);
+  EXPECT_EQ(trace2.rounds.front().round, 1u);
+}
+
 TEST(Trainer, ProvidedInitialPointIsUsed) {
   auto model = std::make_shared<QuadraticModel>(kDim);
   const auto fed = two_device_fed(10, 10, 0.0, 0.0);

@@ -1,7 +1,9 @@
-// Fixture: path scoping of no-alloc-in-hot-loop — the rule covers only
-// src/opt, src/tensor and src/core; orchestration code in src/fl may
-// allocate per round (the trainer's round loop is not the per-sample hot
-// path), so every line here must stay quiet.
+// Fixture: path scoping of no-alloc-in-hot-loop — the rule covers
+// src/opt, src/tensor, src/core, and the per-round event-loop files
+// src/fl/event_engine.* / src/fl/hierarchy.* (see event_engine.cpp in this
+// directory). Other orchestration code in src/fl may allocate per round
+// (the trainer's round loop is not the per-sample hot path), so every line
+// here must stay quiet.
 #include "util/fixture_prelude.h"
 
 namespace fedvr::fl {

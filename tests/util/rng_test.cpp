@@ -181,6 +181,80 @@ TEST(Rng, CategoricalRejectsBadWeights) {
   EXPECT_THROW((void)rng.categorical({}), Error);
 }
 
+TEST(Rng, CategoricalNeverReturnsZeroWeightIndex) {
+  // Regression: the fallthrough used to clamp to weights.size() - 1 and the
+  // scan could select a zero-weight index when fp rounding walked the
+  // residual negative. With trailing (and interior) zero weights, a
+  // zero-probability index must never come back — under any draw.
+  Rng rng(47);
+  const std::vector<double> w = {0.1, 0.0, 1e-17, 0.0, 0.0};
+  for (int i = 0; i < 200000; ++i) {
+    const std::size_t idx = rng.categorical(w);
+    ASSERT_TRUE(idx == 0 || idx == 2) << "drew zero-weight index " << idx;
+  }
+  // Degenerate single-support distributions, mass at either end.
+  const std::vector<double> only_last = {0.0, 0.0, 2.0};
+  const std::vector<double> only_first = {2.0, 0.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.categorical(only_last), 2u);
+    EXPECT_EQ(rng.categorical(only_first), 0u);
+  }
+}
+
+TEST(Rng, SampleSubsetSortedIsDistinctSortedInRange) {
+  Rng rng(53);
+  std::vector<std::size_t> out;
+  rng.sample_subset_sorted(1000, 20, out);
+  ASSERT_EQ(out.size(), 20u);
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LT(out[i], out[i + 1]);
+  }
+  for (auto v : out) EXPECT_LT(v, 1000u);
+  // The out-param is cleared, not appended to.
+  rng.sample_subset_sorted(1000, 5, out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(Rng, SampleSubsetSortedFullRangeAndErrors) {
+  Rng rng(59);
+  std::vector<std::size_t> out;
+  rng.sample_subset_sorted(6, 6, out);
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], i);
+  rng.sample_subset_sorted(6, 0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_THROW(rng.sample_subset_sorted(3, 4, out), Error);
+}
+
+TEST(Rng, SampleSubsetSortedIsUnbiased) {
+  // Floyd's algorithm gives every index the same inclusion probability
+  // k/n; a per-index chi-square-ish tolerance catches off-by-one bugs in
+  // the [n-k, n) window handling.
+  Rng rng(61);
+  constexpr std::size_t n = 20, k = 5;
+  constexpr int trials = 40000;
+  std::vector<int> counts(n, 0);
+  std::vector<std::size_t> out;
+  for (int t = 0; t < trials; ++t) {
+    rng.sample_subset_sorted(n, k, out);
+    for (auto v : out) counts[v]++;
+  }
+  const double expected = static_cast<double>(trials) * k / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], expected, 0.05 * expected) << "index " << i;
+  }
+}
+
+TEST(Rng, SampleSubsetSortedCostIsIndependentOfPopulation) {
+  // O(k) contract: sampling 10 of a billion must not walk the population.
+  // (An O(n) implementation would time out long before any assertion.)
+  Rng rng(67);
+  std::vector<std::size_t> out;
+  rng.sample_subset_sorted(1'000'000'000, 10, out);
+  ASSERT_EQ(out.size(), 10u);
+  for (auto v : out) EXPECT_LT(v, 1'000'000'000u);
+}
+
 TEST(Fork, SameCoordinatesSameStream) {
   Rng a = fork(99, 1, 2, 3);
   Rng b = fork(99, 1, 2, 3);

@@ -32,15 +32,24 @@ REDUCTION_DIRS = ("src/fl/", "src/core/", "src/comm/")
 UNORDERED_DIRS = REDUCTION_DIRS + ("src/tensor/",)
 
 # Sanctioned reduction helpers: the only places fp accumulation over
-# device/update collections may live (fl::Aggregator seam + the tensor
-# primitives it calls).
-FP_SEAM_FILES = ("src/fl/aggregation.", "src/tensor/vecops.")
+# device/update collections may live (fl::Aggregator seam — the flat rules
+# in aggregation.* plus the hierarchical tree in hierarchy.* — and the
+# tensor primitives they call).
+FP_SEAM_FILES = ("src/fl/aggregation.", "src/fl/hierarchy.",
+                 "src/tensor/vecops.")
+
+# Files allowed to perform line-12 weighted averaging directly (the
+# Aggregator implementations themselves and the vecops they delegate to).
+AGGREGATION_SEAM_FILES = FP_SEAM_FILES
 
 WALLCLOCK_EXEMPT = ("src/obs/", "src/util/stopwatch.h")
 
-# Directories whose loops are per-round / per-iteration hot paths: a heap
-# allocation inside one multiplies by rounds × devices × iterations.
-HOT_LOOP_DIRS = ("src/opt/", "src/tensor/", "src/core/")
+# Directories/files whose loops are per-round / per-iteration hot paths: a
+# heap allocation inside one multiplies by rounds × devices × iterations.
+# The event-engine files run once per round over every participant, so they
+# are held to the same standard as the solvers.
+HOT_LOOP_DIRS = ("src/opt/", "src/tensor/", "src/core/",
+                 "src/fl/event_engine.", "src/fl/hierarchy.")
 
 
 def _under(path: str, prefixes: tuple[str, ...]) -> bool:
@@ -119,7 +128,7 @@ RULES: list[Rule] = [
         "line-12 weighted averaging belongs behind the fl::Aggregator seam "
         "(src/fl/aggregation.*); hand-rolled averages bypass the server's "
         "Byzantine defenses",
-        lambda p: not _under(p, ("src/fl/aggregation.", "src/tensor/vecops.")),
+        lambda p: not _under(p, AGGREGATION_SEAM_FILES),
     ),
     Rule(
         "compression-in-seam",
